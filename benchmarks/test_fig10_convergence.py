@@ -1,0 +1,83 @@
+"""Figure 10: convergence microbenchmarks (real numpy training).
+
+* 10a — the algorithmic techniques (parallel transformer block +
+  sliding-window attention) reach loss comparable to the baseline.
+* 10b — LAMB at 4x batch matches ADAM's loss at equal token counts.
+
+The paper runs a 13B model to 100-250B tokens; we run a architecturally
+identical tiny LM on a structured synthetic corpus — convergence
+equivalence of these techniques is scale-portable (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.optim import LmConfig, curves_match, make_markov_corpus, train_lm
+
+STEPS = 260
+BATCH = 8
+
+
+def compute_curves():
+    corpus = make_markov_corpus(vocab_size=48, length=60_000, seed=3)
+    base_cfg = LmConfig(vocab_size=48, d_model=48, n_heads=4, n_layers=2, seq_len=32)
+    variant_cfg = LmConfig(
+        vocab_size=48, d_model=48, n_heads=4, n_layers=2, seq_len=32,
+        parallel_block=True, attention_window=16,
+    )
+    baseline = train_lm(
+        base_cfg, "adam", lr=3e-3, batch_size=BATCH, n_steps=STEPS,
+        corpus=corpus, seed=5, label="baseline (serial + full attn)",
+    )
+    variant = train_lm(
+        variant_cfg, "adam", lr=3e-3, batch_size=BATCH, n_steps=STEPS,
+        corpus=corpus, seed=5, label="megascale (PTB + SWA)",
+    )
+    # 10b needs to reach the late-training regime where the paper's
+    # LAMB-catches-up behaviour appears: run 4x longer than 10a.
+    adam = train_lm(
+        base_cfg, "adam", lr=3e-3, batch_size=BATCH, n_steps=1200,
+        corpus=corpus, seed=6, eval_every=40, label=f"ADAM bs={BATCH}",
+    )
+    lamb4x = train_lm(
+        base_cfg, "lamb", lr=1e-2, batch_size=4 * BATCH, n_steps=300,
+        corpus=corpus, seed=6, eval_every=10, label=f"LAMB bs={4 * BATCH}",
+    )
+    return baseline, variant, adam, lamb4x
+
+
+def test_fig10_convergence(benchmark):
+    baseline, variant, adam, lamb4x = benchmark.pedantic(
+        compute_curves, rounds=1, iterations=1
+    )
+
+    print_banner("Figure 10a — PTB + SWA vs baseline (loss at matched steps)")
+    for s, lb, lv in zip(baseline.steps[::3], baseline.losses[::3], variant.losses[::3]):
+        print(f"  step {s:>4d}: baseline {lb:.3f}   PTB+SWA {lv:.3f}")
+    print(f"final: baseline {baseline.final_loss:.3f}, PTB+SWA {variant.final_loss:.3f}")
+
+    print_banner("Figure 10b — ADAM vs LAMB @ 4x batch (loss at matched tokens)")
+    total_tokens = min(adam.tokens_seen[-1], lamb4x.tokens_seen[-1])
+    for frac in (0.3, 0.6, 1.0):
+        tokens = int(total_tokens * frac)
+        print(
+            f"  {tokens:>7d} tokens: ADAM {adam.loss_at_tokens(tokens):.3f}   "
+            f"LAMB(4x) {lamb4x.loss_at_tokens(tokens):.3f}"
+        )
+    print(f"final: ADAM {adam.final_loss:.3f}, LAMB(4x) {lamb4x.final_loss:.3f}")
+
+    # -- shape assertions ----------------------------------------------------
+    assert baseline.final_loss < baseline.losses[0] - 0.3, "baseline must train"
+    # 10a: the algorithmic variant converges comparably (not worse).
+    assert variant.final_loss <= baseline.final_loss + 0.1
+    assert curves_match(baseline, variant, tolerance=0.35)
+    # 10b, the paper's shape: LAMB at 4x batch lags mid-training, then the
+    # curves converge ("achieves the same loss ... after around 250B
+    # tokens").  The gap must be closing by the end and small in absolute
+    # terms at this training budget.
+    gap_mid = abs(adam.loss_at_tokens(0.6 * total_tokens) - lamb4x.loss_at_tokens(0.6 * total_tokens))
+    gap_end = abs(adam.loss_at_tokens(total_tokens) - lamb4x.loss_at_tokens(total_tokens))
+    assert gap_end < gap_mid, "LAMB must be catching up by the end of training"
+    assert gap_end < 0.45, f"ADAM-vs-LAMB final iso-token gap {gap_end:.3f}"
+    assert lamb4x.final_loss < lamb4x.losses[0] - 0.5, "LAMB must train well"

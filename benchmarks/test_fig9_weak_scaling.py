@@ -1,0 +1,44 @@
+"""Figure 9: weak-scaling training performance on the 530B model.
+
+Paper setup: batch size scaled proportionally with GPU count (batch =
+#GPUs), tp=8 / pp=35 / 3 interleaved stages.  Findings: MegaScale's MFU
+exceeds Megatron-LM's by up to ~6 points, and while Megatron-LM's MFU
+sags as scale grows, MegaScale stays near-flat (near-linear scaling).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro import compare, job_530b
+
+# dp in 4..40: 1120 to 11,200 GPUs (the paper's largest 530B run).
+SCALES = [1120, 2240, 4480, 8960, 11200]
+
+
+def compute_weak_scaling():
+    return {n: compare(job_530b(n_gpus=n)) for n in SCALES}
+
+
+def test_fig9_weak_scaling(benchmark):
+    results = benchmark.pedantic(compute_weak_scaling, rounds=1, iterations=1)
+
+    print_banner("Figure 9 — weak scaling, 530B model (batch = #GPUs)")
+    for n, comparison in results.items():
+        print(
+            f"{n:>6d} GPUs  MegaScale {comparison.megascale.mfu * 100:5.1f}%  "
+            f"Megatron-LM {comparison.baseline.mfu * 100:5.1f}%  "
+            f"(+{comparison.mfu_gain * 100:4.1f} pts, {comparison.speedup:4.2f}x)"
+        )
+
+    # -- shape assertions --------------------------------------------------
+    gains = [c.mfu_gain for c in results.values()]
+    assert all(g > 0.02 for g in gains), "MegaScale must lead at every scale"
+    assert max(gains) < 0.20
+    # Megatron-LM degrades more from smallest to largest scale than
+    # MegaScale (the paper's near-linear-scaling claim).
+    first, last = results[SCALES[0]], results[SCALES[-1]]
+    megatron_drop = first.baseline.mfu - last.baseline.mfu
+    megascale_drop = first.megascale.mfu - last.megascale.mfu
+    assert megatron_drop > megascale_drop
+    assert megascale_drop < 0.05  # near-linear

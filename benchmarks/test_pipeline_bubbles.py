@@ -1,0 +1,56 @@
+"""§3.1: pipeline-bubble accounting and the LAMB batch-scaling effect.
+
+Paper claims: interleaved scheduling divides the bubble fraction by the
+number of virtual stages; scaling the batch 4x with LAMB removes 87.5%
+of the pipeline bubbles relative to running four 1x-batch steps.  (By
+the paper's own two formulas the ratio works out to 1/16 = 93.75%; we
+print both and assert the reduction exceeds the quoted 87.5%.  See
+EXPERIMENTS.md.)  The executor's *measured* bubbles are validated
+against the closed form.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro.core.features import MEGASCALE_ISO_BATCH
+from repro.model import GPT_175B
+from repro.parallel import bubble_fraction, lamb_bubble_reduction, plan_for_gpus
+from repro.training import IterationEngine
+
+
+def compute_bubbles():
+    measured = {}
+    for vpp in (1, 2, 6):
+        plan = plan_for_gpus(256, tp=8, pp=8, vpp=vpp)
+        engine = IterationEngine(GPT_175B, plan, MEGASCALE_ISO_BATCH)
+        for batch in (256, 1024):
+            result = engine.simulate(batch)
+            measured[(vpp, batch)] = result.bubble_fraction
+    return measured
+
+
+def test_pipeline_bubbles(benchmark):
+    measured = benchmark.pedantic(compute_bubbles, rounds=1, iterations=1)
+
+    print_banner("§3.1 — pipeline bubbles: interleaving and LAMB batch scaling")
+    print(f"{'vpp':>4s} {'batch':>6s} {'measured':>9s} {'(p-1)/(v*m)':>12s}")
+    for (vpp, batch), frac in measured.items():
+        m = batch // 4  # dp=4 at 256 GPUs
+        print(f"{vpp:>4d} {batch:>6d} {frac:>8.2%} {bubble_fraction(8, vpp, m):>11.2%}")
+
+    reduction = lamb_bubble_reduction(v=6, p=8, m=64, batch_scale=4)
+    print(f"\nLAMB 4x-batch bubble reduction: {reduction:.2%} "
+          "(paper quotes 87.5%; its own formulas give 93.75%)")
+
+    # -- shape assertions ----------------------------------------------------
+    # Interleaving shrinks bubbles at fixed batch.
+    assert measured[(6, 256)] < measured[(2, 256)] < measured[(1, 256)]
+    # Bigger batch shrinks bubbles at fixed interleaving.
+    assert measured[(6, 1024)] < measured[(6, 256)]
+    # Executor-measured bubbles track the closed form (within the warm-up
+    # p2p and logits-stage imbalance the formula ignores).
+    for (vpp, batch), frac in measured.items():
+        formula = bubble_fraction(8, vpp, batch // 4)
+        assert abs(frac - formula) < 0.06
+    assert reduction >= 0.875

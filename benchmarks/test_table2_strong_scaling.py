@@ -1,0 +1,66 @@
+"""Table 2: strong-scaling training performance for the 175B model.
+
+Paper setup: batch 768 on 256-1024 GPUs, batch 6144 on 3072-12288 GPUs;
+Megatron-LM vs MegaScale; report iteration time, tokens/s, days to 300B
+tokens, MFU and aggregate PFlops.  Shape targets: MegaScale wins every
+row, MFU declines with scale at fixed batch, speedup grows toward the
+largest scale (paper: 1.23x -> 1.34x).
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro import compare, job_175b, render_table
+
+# (gpus, batch) -> paper (megatron iter s, megatron MFU, megascale iter s, megascale MFU)
+PAPER = {
+    (256, 768): (40.0, 0.530, 32.0, 0.653),
+    (512, 768): (21.2, 0.499, 16.5, 0.635),
+    (768, 768): (15.2, 0.467, 11.5, 0.613),
+    (1024, 768): (11.9, 0.447, 8.9, 0.590),
+    (3072, 6144): (29.02, 0.487, 23.66, 0.591),
+    (6144, 6144): (14.78, 0.478, 12.21, 0.573),
+    (8192, 6144): (12.24, 0.433, 9.56, 0.549),
+    (12288, 6144): (8.57, 0.412, 6.34, 0.552),
+}
+
+
+def compute_table2():
+    return {cfg: compare(job_175b(n_gpus=cfg[0], global_batch=cfg[1])) for cfg in PAPER}
+
+
+def test_table2_strong_scaling(benchmark):
+    results = benchmark.pedantic(compute_table2, rounds=1, iterations=1)
+
+    print_banner("Table 2 — strong scaling, 175B model (measured vs paper)")
+    reports = []
+    for cfg, comparison in results.items():
+        reports.extend([comparison.baseline, comparison.megascale])
+    print(render_table(reports))
+    print()
+    for cfg, comparison in results.items():
+        p = PAPER[cfg]
+        print(
+            f"{cfg[0]:>6d} GPUs: speedup {comparison.speedup:4.2f}x "
+            f"(paper {p[3] / p[1]:4.2f}x) | MegaScale MFU "
+            f"{comparison.megascale.mfu * 100:4.1f}% (paper {p[3] * 100:4.1f}%) | "
+            f"Megatron MFU {comparison.baseline.mfu * 100:4.1f}% (paper {p[1] * 100:4.1f}%)"
+        )
+
+    # -- shape assertions ---------------------------------------------------
+    for cfg, comparison in results.items():
+        assert comparison.speedup > 1.15, f"MegaScale must win at {cfg}"
+    # MFU declines with scale at fixed batch for both systems.
+    big = [(g, results[(g, 6144)]) for g in (3072, 6144, 8192, 12288)]
+    ms_mfus = [c.megascale.mfu for _, c in big]
+    mt_mfus = [c.baseline.mfu for _, c in big]
+    assert ms_mfus == sorted(ms_mfus, reverse=True)
+    assert mt_mfus == sorted(mt_mfus, reverse=True)
+    # Speedup grows toward the largest scale.
+    assert results[(12288, 6144)].speedup > results[(256, 768)].speedup
+    # Headline anchors within 15%.
+    head = results[(12288, 6144)]
+    assert abs(head.megascale.mfu - 0.552) < 0.08
+    assert abs(head.baseline.mfu - 0.412) < 0.06
+    assert abs(head.megascale.iteration_time - 6.34) / 6.34 < 0.15

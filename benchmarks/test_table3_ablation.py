@@ -1,0 +1,50 @@
+"""Table 3: MFU improvement breakdown (175B model, 256 GPUs, batch 256).
+
+The paper's cumulative ladder: baseline 47.7% -> +PTB -> +SWA -> +TP
+overlap -> +PP overlap -> +DP overlap -> +efficient operators -> +misc
+-> +LAMB (batch x3) = 65.3%.  Shape targets: every rung improves MFU,
+the total gain is in the paper's 17.6-point ballpark, and each rung's
+delta is within ~2 points of the paper's.
+"""
+
+from __future__ import annotations
+
+from conftest import print_banner
+
+from repro import ablation_sequence, job_175b
+from repro.training import IterationEngine
+
+PAPER_MFU = [0.477, 0.523, 0.533, 0.555, 0.580, 0.595, 0.612, 0.623, 0.653]
+BASE_BATCH = 256
+
+
+def compute_ladder():
+    job = job_175b(n_gpus=256, global_batch=BASE_BATCH)
+    plan = job.plan()
+    rows = []
+    for label, features, batch_scale in ablation_sequence():
+        engine = IterationEngine(job.model_spec, plan, features, gpu=job.gpu_spec)
+        result = engine.simulate(BASE_BATCH * batch_scale)
+        rows.append((label, result.mfu))
+    return rows
+
+
+def test_table3_ablation(benchmark):
+    rows = benchmark.pedantic(compute_ladder, rounds=1, iterations=1)
+
+    print_banner("Table 3 — MFU improvement breakdown (measured vs paper)")
+    base = rows[0][1]
+    for (label, mfu), paper in zip(rows, PAPER_MFU):
+        print(
+            f"{label:<32s} {mfu * 100:5.1f}%  (Δ{(mfu - base) * 100:+5.1f})   "
+            f"paper {paper * 100:4.1f}% (Δ{(paper - PAPER_MFU[0]) * 100:+5.1f})"
+        )
+
+    # -- shape assertions ----------------------------------------------------
+    mfus = [m for _, m in rows]
+    assert all(b > a for a, b in zip(mfus, mfus[1:])), "every rung must improve MFU"
+    total_gain = mfus[-1] - mfus[0]
+    assert 0.12 < total_gain < 0.22  # paper: 0.176
+    # Each rung within 2.5 MFU points of the paper's value.
+    for (label, mfu), paper in zip(rows, PAPER_MFU):
+        assert abs(mfu - paper) < 0.035, f"{label}: {mfu:.3f} vs paper {paper:.3f}"

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Convergence microbenchmark: PTB/SWA and LAMB at laptop scale (Fig. 10).
+
+Trains a real (numpy) tiny transformer LM on a structured synthetic
+corpus and compares the loss curves of the paper's algorithmic variants.
+
+    python examples/convergence_microbenchmark.py [steps]
+"""
+
+import sys
+
+from repro.optim import LmConfig, make_markov_corpus, train_lm
+
+
+def sparkline(losses, width=40):
+    lo, hi = min(losses), max(losses)
+    span = (hi - lo) or 1.0
+    glyphs = "█▇▆▅▄▃▂▁ "
+    return "".join(
+        glyphs[min(len(glyphs) - 1, int((l - lo) / span * (len(glyphs) - 1)))]
+        for l in losses[:width]
+    )
+
+
+def main() -> None:
+    steps = int(sys.argv[1]) if len(sys.argv) > 1 else 150
+    corpus = make_markov_corpus(vocab_size=48, length=50_000, seed=3)
+    base_cfg = LmConfig(vocab_size=48, d_model=48, n_heads=4, n_layers=2, seq_len=32)
+    ptb_swa = LmConfig(
+        vocab_size=48, d_model=48, n_heads=4, n_layers=2, seq_len=32,
+        parallel_block=True, attention_window=16,
+    )
+
+    print(f"training 3 variants for {steps} steps each (real numpy backprop)...\n")
+    runs = [
+        train_lm(base_cfg, "adam", lr=3e-3, batch_size=8, n_steps=steps,
+                 corpus=corpus, seed=5, label="baseline   (serial + full attention)"),
+        train_lm(ptb_swa, "adam", lr=3e-3, batch_size=8, n_steps=steps,
+                 corpus=corpus, seed=5, label="megascale  (parallel block + SWA)"),
+        train_lm(base_cfg, "lamb", lr=8e-3, batch_size=32, n_steps=steps // 4,
+                 corpus=corpus, seed=5, label="lamb @ 4x batch"),
+    ]
+    for run in runs:
+        print(f"{run.label:<40s} {sparkline(run.losses)}  "
+              f"{run.losses[0]:.2f} -> {run.final_loss:.2f}")
+    print("\nFigure 10's claim at this scale: the variants' curves track the")
+    print("baseline — the optimizations are free of convergence cost.")
+
+
+if __name__ == "__main__":
+    main()

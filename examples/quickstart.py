@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Quickstart: compare MegaScale against Megatron-LM on one training job.
+
+Runs the simulated 175B-parameter job at a configurable scale and prints
+the Table 2-style report plus the iteration-time breakdown.
+
+    python examples/quickstart.py [n_gpus] [global_batch]
+"""
+
+import sys
+
+from repro import compare, job_175b, render_table
+
+
+def main() -> None:
+    n_gpus = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    global_batch = int(sys.argv[2]) if len(sys.argv) > 2 else 768
+
+    job = job_175b(n_gpus=n_gpus, global_batch=global_batch)
+    print(f"model={job.model_spec.name}  plan: {job.plan().describe()}\n")
+
+    result = compare(job)
+    print(render_table([result.baseline, result.megascale]))
+    print()
+    print(result.summary())
+
+    details = result.megascale.details
+    print("\nMegaScale iteration breakdown:")
+    print(f"  pipeline phase      {details.pipeline_time:8.3f} s")
+    print(f"  data stall          {details.data_stall:8.3f} s")
+    print(f"  exposed DP comm     {details.dp_exposed:8.3f} s")
+    print(f"  optimizer step      {details.optimizer_time:8.3f} s")
+    print(f"  pipeline bubbles    {details.bubble_fraction:8.2%}")
+    print(f"  hidden DP traffic   {details.dp_total_comm - details.dp_exposed:8.3f} s")
+
+
+if __name__ == "__main__":
+    main()

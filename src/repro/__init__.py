@@ -1,0 +1,54 @@
+"""MegaScale reproduction: LLM training systems at 10,000+ GPU scale.
+
+A simulation-grade reimplementation of "MegaScale: Scaling Large Language
+Model Training to More Than 10,000 GPUs" (NSDI 2024): the training
+iteration engine with 3D-parallel communication overlap, the CLOS
+datacenter fabric, collective cost models, the robust-training
+fault-tolerance framework, the observability toolchain, and real numpy
+convergence microbenchmarks.
+
+Quick start::
+
+    from repro import compare, job_175b
+
+    print(compare(job_175b(n_gpus=1024, global_batch=768)).summary())
+"""
+
+from .core import (
+    Comparison,
+    FeatureSet,
+    JobReport,
+    MEGASCALE,
+    MEGASCALE_ISO_BATCH,
+    MEGATRON_LM,
+    TrainingJob,
+    TrainingSystem,
+    ablation_sequence,
+    compare,
+    job_175b,
+    job_530b,
+    megascale,
+    megatron_lm,
+    render_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Comparison",
+    "FeatureSet",
+    "JobReport",
+    "MEGASCALE",
+    "MEGASCALE_ISO_BATCH",
+    "MEGATRON_LM",
+    "TrainingJob",
+    "TrainingSystem",
+    "__version__",
+    "ablation_sequence",
+    "compare",
+    "job_175b",
+    "job_530b",
+    "megascale",
+    "megatron_lm",
+    "render_table",
+]

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``compare`` — one Table 2 cell (both systems on one job)
+* ``sweep`` — the full strong-scaling sweep
+* ``ablation`` — the Table 3 ladder
+* ``init`` — the §3.5 group-initialization sequence
+* ``production`` — a fault-injected multi-week run (Figure 11)
+* ``tune`` — auto-tune the 3D parallelism for a model + GPU count
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _add_job_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--gpus", type=int, default=1024)
+    parser.add_argument("--batch", type=int, default=768)
+    parser.add_argument("--model", default="gpt-175b")
+    parser.add_argument("--tp", type=int, default=8)
+    parser.add_argument("--pp", type=int, default=8)
+    parser.add_argument("--vpp", type=int, default=6)
+
+
+def _job_from(args) -> "TrainingJob":
+    from .core.config import TrainingJob
+
+    return TrainingJob(
+        model=args.model,
+        n_gpus=args.gpus,
+        global_batch=args.batch,
+        tp=args.tp,
+        pp=args.pp,
+        vpp=args.vpp,
+    )
+
+
+def cmd_compare(args) -> int:
+    from .core import compare, render_table
+
+    result = compare(_job_from(args))
+    print(render_table([result.baseline, result.megascale]))
+    print(result.summary())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from .core import compare, job_175b
+
+    print(f"{'GPUs':>6s} {'batch':>6s} {'Megatron':>9s} {'MegaScale':>10s} {'speedup':>8s}")
+    for gpus, batch in [
+        (256, 768), (512, 768), (768, 768), (1024, 768),
+        (3072, 6144), (6144, 6144), (8192, 6144), (12288, 6144),
+    ]:
+        r = compare(job_175b(n_gpus=gpus, global_batch=batch))
+        print(
+            f"{gpus:>6d} {batch:>6d} {r.baseline.mfu:>8.1%} {r.megascale.mfu:>9.1%} "
+            f"{r.speedup:>7.2f}x"
+        )
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from .core import ablation_sequence, job_175b
+    from .training import IterationEngine
+
+    job = job_175b(n_gpus=256, global_batch=256)
+    plan = job.plan()
+    prev = None
+    for label, features, scale in ablation_sequence():
+        engine = IterationEngine(job.model_spec, plan, features, gpu=job.gpu_spec)
+        mfu = engine.simulate(256 * scale).mfu
+        delta = "" if prev is None else f"  (+{(mfu - prev) * 100:.1f})"
+        print(f"{label:<32s} {mfu:.1%}{delta}")
+        prev = mfu
+    return 0
+
+
+def cmd_init(args) -> int:
+    from .collectives import paper_sequence
+    from .parallel import plan_for_gpus
+
+    plan = plan_for_gpus(args.gpus, tp=args.tp, pp=args.pp, vpp=args.vpp)
+    for name, seconds in paper_sequence(plan).items():
+        print(f"{name:<18s} {seconds:>9.1f} s")
+    return 0
+
+
+def cmd_production(args) -> int:
+    from .fault import CheckpointPlanner, FaultInjector, ProductionRun
+    from .model import MODEL_CATALOG
+    from .parallel import plan_for_gpus
+
+    plan = plan_for_gpus(args.gpus, tp=args.tp, pp=args.pp, vpp=args.vpp)
+    model = MODEL_CATALOG[args.model]
+    injector = FaultInjector(n_nodes=max(1, args.gpus // 8), rng=np.random.default_rng(args.seed))
+    run = ProductionRun(
+        plan,
+        injector,
+        planner=CheckpointPlanner(model=model, plan=plan),
+        rng=np.random.default_rng(args.seed),
+    )
+    result = run.run(duration=args.weeks * 7 * 86400.0)
+    print(f"restarts            : {result.restarts}")
+    print(f"auto-recovered      : {result.log.auto_fraction():.1%}")
+    print(f"effective time rate : {result.effective_rate(run.config.iteration_time):.1%}")
+    print(f"tokens trained      : {result.tokens_trained / 1e12:.2f}T")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from .model import MODEL_CATALOG
+    from .parallel import tune
+
+    results = tune(
+        MODEL_CATALOG[args.model],
+        n_gpus=args.gpus,
+        global_batch=args.batch,
+        top_k=args.top,
+    )
+    for i, result in enumerate(results, 1):
+        print(f"#{i}  {result.describe()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MegaScale (NSDI 2024) reproduction: simulate LLM training at scale.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="MegaScale vs Megatron-LM on one job")
+    _add_job_args(p)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("sweep", help="Table 2 strong-scaling sweep")
+    p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("ablation", help="Table 3 optimization ladder")
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser("init", help="group-initialization times (§3.5)")
+    _add_job_args(p)
+    p.set_defaults(func=cmd_init)
+
+    p = sub.add_parser("production", help="fault-injected long run (Figure 11)")
+    _add_job_args(p)
+    p.add_argument("--weeks", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_production)
+
+    p = sub.add_parser("tune", help="auto-tune 3D parallelism")
+    _add_job_args(p)
+    p.add_argument("--top", type=int, default=5)
+    p.set_defaults(func=cmd_tune)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

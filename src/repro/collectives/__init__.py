@@ -1,0 +1,58 @@
+"""Collective communication: cost primitives, fabric-aware groups, init."""
+
+from .groups import DEFAULT_CC_EFFICIENCY, GroupCommModel, build_comm_model
+from .hierarchical import HierarchicalCost, flat_all_reduce, hierarchical_all_reduce, hierarchical_speedup
+from .init import (
+    InitBreakdown,
+    count_groups,
+    group_init_time,
+    init_time_seconds,
+    paper_sequence,
+)
+from .kvstore import (
+    REDIS_STORE,
+    STORE_CATALOG,
+    TCP_STORE,
+    SimulatedKvServer,
+    StoreModel,
+    simulated_barrier_time,
+)
+from .primitives import (
+    CollectiveCost,
+    all_to_all,
+    collective_cost,
+    point_to_point,
+    ring_all_gather,
+    ring_all_reduce,
+    ring_reduce_scatter,
+    tree_broadcast,
+)
+
+__all__ = [
+    "CollectiveCost",
+    "DEFAULT_CC_EFFICIENCY",
+    "GroupCommModel",
+    "HierarchicalCost",
+    "flat_all_reduce",
+    "hierarchical_all_reduce",
+    "hierarchical_speedup",
+    "InitBreakdown",
+    "REDIS_STORE",
+    "STORE_CATALOG",
+    "SimulatedKvServer",
+    "StoreModel",
+    "TCP_STORE",
+    "all_to_all",
+    "build_comm_model",
+    "collective_cost",
+    "count_groups",
+    "group_init_time",
+    "init_time_seconds",
+    "paper_sequence",
+    "point_to_point",
+    "ring_all_gather",
+    "ring_all_reduce",
+    "ring_reduce_scatter",
+    "simulated_barrier_time",
+    "tree_broadcast",
+]

@@ -1,0 +1,144 @@
+"""Fabric-aware collective timing for 3D-parallel communication groups.
+
+TP collectives run on NVLink and are costed in :mod:`repro.model.blocks`.
+This module prices the *inter-node* traffic: data-parallel ring
+collectives and pipeline-parallel point-to-point transfers, taking the
+actual CLOS paths into account:
+
+* DP rings are rail-aligned — each GPU rides its own NIC — so the ring's
+  bandwidth is the slowest neighbour-pair link, derated by congestion-
+  control efficiency and (for cross-pod hops) ECMP conflict losses.
+* PP neighbours sit ``dp`` nodes apart (dp-before-pp layout), usually in
+  the same pod, sometimes across pods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..hardware.node import NodeSpec
+from ..network.topology import ClosFabric
+from ..parallel.placement import Placement
+from ..parallel.plan import ParallelPlan
+from .primitives import point_to_point, ring_all_gather, ring_all_reduce, ring_reduce_scatter
+
+# Fraction of line rate a well-tuned RDMA transport sustains (framing,
+# congestion-control headroom).  The MegaScale CC work (§3.6) is what
+# keeps this high; the ECMP factors below model the remaining topology
+# losses.
+DEFAULT_CC_EFFICIENCY = 0.90
+INTER_NODE_LATENCY = 12e-6  # NIC + 2-6 switch hops + software
+
+
+def cross_pod_conflict_factor(active_nodes_per_pod: int = 64, uplinks: int = 32) -> float:
+    """Expected throughput factor for traffic crossing the ToR uplinks.
+
+    When a job spans pods, every node's rail pushes a 200G flow through
+    its ToR's 32x400G uplinks; ECMP hash conflicts of 3+ flows degrade
+    the colliding flows even with split ports (§3.6).  Computed from the
+    Monte-Carlo conflict model so the number is mechanistic, not fitted.
+    """
+    from ..network.ecmp import expected_conflict_stats
+
+    flows = min(64, max(1, active_nodes_per_pod))
+    stats = expected_conflict_stats(
+        n_flows=flows, n_uplinks=uplinks, uplink_to_flow_rate=2.0, trials=100
+    )
+    return stats.mean_flow_throughput
+
+
+@dataclass
+class GroupCommModel:
+    """Prices collectives for one (plan, placement, fabric) deployment."""
+
+    plan: ParallelPlan
+    fabric: ClosFabric
+    placement: Optional[Placement] = None
+    node_spec: NodeSpec = None  # type: ignore[assignment]
+    cc_efficiency: float = DEFAULT_CC_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        if self.node_spec is None:
+            self.node_spec = NodeSpec()
+        if not 0 < self.cc_efficiency <= 1:
+            raise ValueError("cc_efficiency must be in (0, 1]")
+        self._nic_rate = self.node_spec.nic_spec.line_rate
+        self._conflict_factor = cross_pod_conflict_factor()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _node_of_rank(self, rank: int) -> int:
+        """Fabric node index hosting a rank (packed 8 ranks/node)."""
+        return rank // self.node_spec.gpus_per_node
+
+    def _pair_bandwidth(self, rank_a: int, rank_b: int) -> float:
+        """Effective bytes/s between two ranks' NICs."""
+        node_a, node_b = self._node_of_rank(rank_a), self._node_of_rank(rank_b)
+        if node_a == node_b:
+            # Same host: NVLink/PCIe shortcut, far faster than the NIC.
+            return self.node_spec.gpu_spec.nvlink_bandwidth
+        rate = self._nic_rate * self.cc_efficiency
+        if not self.fabric.same_tor(node_a, node_b):
+            rate *= self._conflict_factor
+        return rate
+
+    def ring_bandwidth(self, ranks: List[int]) -> float:
+        """Slowest neighbour-pair bandwidth around the ring."""
+        if len(ranks) < 2:
+            return float("inf")
+        rate = float("inf")
+        for i, rank in enumerate(ranks):
+            nxt = ranks[(i + 1) % len(ranks)]
+            rate = min(rate, self._pair_bandwidth(rank, nxt))
+        return rate
+
+    # -- DP collectives --------------------------------------------------------
+
+    def dp_collective_time(self, kind: str, size: float, ranks: Optional[List[int]] = None) -> float:
+        """Time of one DP collective of ``size`` bytes (full tensor)."""
+        ranks = ranks if ranks is not None else self.plan.dp_group(0)
+        n = len(ranks)
+        if n == 1:
+            return 0.0
+        bandwidth = self.ring_bandwidth(ranks)
+        if kind == "all_gather":
+            return ring_all_gather(size, n, bandwidth, INTER_NODE_LATENCY)
+        if kind == "reduce_scatter":
+            return ring_reduce_scatter(size, n, bandwidth, INTER_NODE_LATENCY)
+        if kind == "all_reduce":
+            return ring_all_reduce(size, n, bandwidth, INTER_NODE_LATENCY)
+        raise ValueError(f"unknown DP collective {kind!r}")
+
+    # -- PP point-to-point -------------------------------------------------------
+
+    def pp_p2p_time(self, size: float, src_rank: int = 0, dst_rank: Optional[int] = None) -> float:
+        """Activation/gradient transfer between adjacent pipeline stages."""
+        if dst_rank is None:
+            dst_rank = self.plan.next_pp_rank(src_rank)
+        bandwidth = self._pair_bandwidth(src_rank, dst_rank)
+        return point_to_point(size, bandwidth, INTER_NODE_LATENCY)
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def describe(self) -> str:
+        dp_bw = self.ring_bandwidth(self.plan.dp_group(0))
+        return (
+            f"GroupCommModel(nic={self._nic_rate / 125e6:.0f}Gbps, "
+            f"cc_eff={self.cc_efficiency:.2f}, dp_ring={dp_bw / 1e9:.1f}GB/s)"
+        )
+
+
+def build_comm_model(
+    plan: ParallelPlan,
+    nodes_per_pod: int = 64,
+    node_spec: Optional[NodeSpec] = None,
+    cc_efficiency: float = DEFAULT_CC_EFFICIENCY,
+) -> GroupCommModel:
+    """Convenience constructor: build a right-sized fabric for the plan."""
+    node_spec = node_spec or NodeSpec()
+    n_nodes = -(-plan.world_size // node_spec.gpus_per_node)
+    fabric = ClosFabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
+    return GroupCommModel(
+        plan=plan, fabric=fabric, node_spec=node_spec, cc_efficiency=cc_efficiency
+    )

@@ -1,0 +1,97 @@
+"""Top-level job configuration: what a user asks the system to train."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Union
+
+from ..hardware.gpu import AMPERE, GPU_CATALOG, GpuSpec
+from ..model.transformer import MODEL_CATALOG, ModelSpec
+from ..parallel.plan import ParallelPlan, plan_for_gpus
+
+
+@dataclass(frozen=True)
+class TrainingJob:
+    """A training job: model + scale + parallelization + batch."""
+
+    model: Union[str, ModelSpec]
+    n_gpus: int
+    global_batch: int
+    tp: int = 8
+    pp: int = 8
+    vpp: int = 1
+    micro_batch: int = 1
+    gpu: Union[str, GpuSpec] = AMPERE
+    zero_stage: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1 or self.global_batch < 1:
+            raise ValueError("n_gpus and global_batch must be positive")
+        # Resolve catalog names eagerly so errors surface at construction.
+        object.__setattr__(self, "model", self._resolve_model())
+        object.__setattr__(self, "gpu", self._resolve_gpu())
+
+    def _resolve_model(self) -> ModelSpec:
+        if isinstance(self.model, ModelSpec):
+            return self.model
+        spec = MODEL_CATALOG.get(self.model)
+        if spec is None:
+            raise ValueError(f"unknown model {self.model!r} (have {sorted(MODEL_CATALOG)})")
+        return spec
+
+    def _resolve_gpu(self) -> GpuSpec:
+        if isinstance(self.gpu, GpuSpec):
+            return self.gpu
+        spec = GPU_CATALOG.get(self.gpu)
+        if spec is None:
+            raise ValueError(f"unknown GPU {self.gpu!r} (have {sorted(GPU_CATALOG)})")
+        return spec
+
+    @property
+    def model_spec(self) -> ModelSpec:
+        return self.model  # type: ignore[return-value]
+
+    @property
+    def gpu_spec(self) -> GpuSpec:
+        return self.gpu  # type: ignore[return-value]
+
+    @property
+    def n_hosts(self) -> int:
+        return max(1, self.n_gpus // 8)
+
+    def plan(self) -> ParallelPlan:
+        return plan_for_gpus(
+            self.n_gpus,
+            tp=self.tp,
+            pp=self.pp,
+            vpp=self.vpp,
+            micro_batch=self.micro_batch,
+            zero_stage=self.zero_stage,
+        )
+
+    def scaled_to(self, n_gpus: int, global_batch: Optional[int] = None) -> "TrainingJob":
+        """The same job at a different scale (strong/weak scaling sweeps)."""
+        return replace(
+            self, n_gpus=n_gpus, global_batch=global_batch or self.global_batch
+        )
+
+
+# The paper's headline configurations.
+def job_175b(n_gpus: int = 12288, global_batch: int = 6144) -> TrainingJob:
+    """Table 2's 175B configuration (tp=8, pp=8, 6 interleaved stages)."""
+    return TrainingJob(
+        model="gpt-175b", n_gpus=n_gpus, global_batch=global_batch, tp=8, pp=8, vpp=6
+    )
+
+
+def job_530b(n_gpus: int = 11200, global_batch: Optional[int] = None) -> TrainingJob:
+    """Figure 9's 530B configuration (tp=8, pp=35, 3 interleaved stages);
+    weak scaling sets the batch equal to the GPU count."""
+    return TrainingJob(
+        model="gpt-530b",
+        n_gpus=n_gpus,
+        global_batch=global_batch if global_batch is not None else n_gpus,
+        tp=8,
+        pp=35,
+        vpp=3,
+    )

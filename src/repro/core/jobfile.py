@@ -1,0 +1,83 @@
+"""Job configuration files.
+
+Load/save :class:`~repro.core.config.TrainingJob` definitions as plain
+JSON documents, so sweeps and deployments are reviewable artifacts
+rather than code.  The schema is intentionally flat::
+
+    {
+      "model": "gpt-175b",
+      "n_gpus": 12288,
+      "global_batch": 6144,
+      "tp": 8, "pp": 8, "vpp": 6,
+      "micro_batch": 1,
+      "gpu": "ampere-80g",
+      "zero_stage": 2
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from .config import TrainingJob
+
+_ALLOWED_KEYS = {
+    "model",
+    "n_gpus",
+    "global_batch",
+    "tp",
+    "pp",
+    "vpp",
+    "micro_batch",
+    "gpu",
+    "zero_stage",
+}
+_REQUIRED_KEYS = {"model", "n_gpus", "global_batch"}
+
+
+def job_from_dict(data: Dict[str, Any]) -> TrainingJob:
+    """Validate a plain dict and build the job."""
+    if not isinstance(data, dict):
+        raise TypeError(f"job document must be a dict, got {type(data).__name__}")
+    unknown = set(data) - _ALLOWED_KEYS
+    if unknown:
+        raise ValueError(f"unknown job keys: {sorted(unknown)}")
+    missing = _REQUIRED_KEYS - set(data)
+    if missing:
+        raise ValueError(f"missing required job keys: {sorted(missing)}")
+    return TrainingJob(**data)
+
+
+def job_to_dict(job: TrainingJob) -> Dict[str, Any]:
+    """The reviewable representation (catalog names, not objects)."""
+    return {
+        "model": job.model_spec.name,
+        "n_gpus": job.n_gpus,
+        "global_batch": job.global_batch,
+        "tp": job.tp,
+        "pp": job.pp,
+        "vpp": job.vpp,
+        "micro_batch": job.micro_batch,
+        "gpu": job.gpu_spec.name,
+        "zero_stage": job.zero_stage,
+    }
+
+
+def load_job(path_or_text: Union[str, bytes]) -> TrainingJob:
+    """Load a job from a JSON file path or a JSON string."""
+    text: str
+    if isinstance(path_or_text, bytes):
+        text = path_or_text.decode()
+    elif path_or_text.lstrip().startswith("{"):
+        text = path_or_text
+    else:
+        with open(path_or_text) as handle:
+            text = handle.read()
+    return job_from_dict(json.loads(text))
+
+
+def save_job(job: TrainingJob, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(job_to_dict(job), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,94 @@
+"""The public API: simulate training systems on the cluster substrate.
+
+    from repro import megascale, megatron_lm, job_175b
+
+    job = job_175b(n_gpus=12288, global_batch=6144)
+    ours = megascale().run(job)
+    base = megatron_lm().run(job)
+    print(ours.table_row())
+    print(base.table_row())
+
+A :class:`TrainingSystem` bundles a feature set with the operational
+behaviours that go with it (straggler eviction, fault tolerance).  The
+two presets mirror the paper's comparison; custom feature sets support
+ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.features import MEGASCALE_ISO_BATCH, MEGATRON_LM, FeatureSet
+from ..training.iteration import IterationEngine
+from ..training.stragglers import expected_job_slowdown
+from .config import TrainingJob
+from .report import Comparison, JobReport
+
+
+@dataclass
+class TrainingSystem:
+    """A named feature set plus operational policy."""
+
+    name: str
+    features: FeatureSet
+    evicts_stragglers: bool = True
+    straggler_fraction: float = 0.005
+    straggler_slowdown: float = 0.90
+    _engines: dict = field(default_factory=dict, repr=False)
+
+    def _engine(self, job: TrainingJob) -> IterationEngine:
+        key = (job.model_spec.name, job.n_gpus, job.tp, job.pp, job.vpp, job.micro_batch)
+        engine = self._engines.get(key)
+        if engine is None:
+            engine = IterationEngine(
+                job.model_spec, job.plan(), self.features, gpu=job.gpu_spec
+            )
+            self._engines[key] = engine
+        return engine
+
+    def speed_factor(self, job: TrainingJob) -> float:
+        """Expected whole-job derating from the straggler lottery."""
+        if self.evicts_stragglers:
+            return 1.0
+        return expected_job_slowdown(
+            job.n_hosts, self.straggler_fraction, self.straggler_slowdown
+        )
+
+    def run(self, job: TrainingJob, perturbation: float = 0.0) -> JobReport:
+        """Simulate one steady-state iteration of ``job``."""
+        result = self._engine(job).simulate(
+            job.global_batch,
+            perturbation=perturbation,
+            speed_factor=self.speed_factor(job),
+        )
+        return JobReport(
+            system=self.name,
+            job=job,
+            iteration_time=result.iteration_time,
+            mfu=result.mfu,
+            details=result,
+        )
+
+
+def megascale(features: Optional[FeatureSet] = None) -> TrainingSystem:
+    """The full MegaScale stack (straggler eviction on)."""
+    return TrainingSystem(
+        name="MegaScale",
+        features=features or MEGASCALE_ISO_BATCH,
+        evicts_stragglers=True,
+    )
+
+
+def megatron_lm(features: Optional[FeatureSet] = None) -> TrainingSystem:
+    """The Megatron-LM baseline (no overlap features, no eviction)."""
+    return TrainingSystem(
+        name="Megatron-LM",
+        features=features or MEGATRON_LM,
+        evicts_stragglers=False,
+    )
+
+
+def compare(job: TrainingJob) -> Comparison:
+    """MegaScale vs Megatron-LM on the same job (a Table 2 cell pair)."""
+    return Comparison(megascale=megascale().run(job), baseline=megatron_lm().run(job))

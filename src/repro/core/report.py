@@ -1,0 +1,84 @@
+"""Job reports in the paper's own units (Table 2 columns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..model.flops import iteration_model_flops, tokens_per_second, training_days
+from ..training.iteration import IterationResult
+from .config import TrainingJob
+
+TARGET_TOKENS = 300e9  # Table 2 reports days to train 300B tokens
+
+
+@dataclass(frozen=True)
+class JobReport:
+    """One system's performance on one job, in Table 2's columns."""
+
+    system: str
+    job: TrainingJob
+    iteration_time: float
+    mfu: float
+    details: Optional[IterationResult] = None
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        return tokens_per_second(self.job.model_spec, self.job.global_batch, self.iteration_time)
+
+    @property
+    def training_days_300b(self) -> float:
+        return training_days(
+            self.job.model_spec, self.job.global_batch, self.iteration_time, TARGET_TOKENS
+        )
+
+    @property
+    def aggregate_pflops(self) -> float:
+        flops = iteration_model_flops(self.job.model_spec, self.job.global_batch)
+        return flops / self.iteration_time / 1e15
+
+    def table_row(self) -> str:
+        """A Table 2-style row."""
+        return (
+            f"{self.job.global_batch:>6d}  {self.system:<12s} {self.job.n_gpus:>6d} "
+            f"{self.iteration_time:>8.2f}  {self.throughput_tokens_per_s / 1e3:>8.1f}k "
+            f"{self.training_days_300b:>7.2f}  {self.mfu * 100:>5.1f}%  "
+            f"{self.aggregate_pflops:>7.1f}"
+        )
+
+    @staticmethod
+    def table_header() -> str:
+        return (
+            f"{'batch':>6s}  {'method':<12s} {'GPUs':>6s} {'iter(s)':>8s}  "
+            f"{'tokens/s':>9s} {'days':>7s}  {'MFU':>6s}  {'PFlops':>7s}"
+        )
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """MegaScale vs the baseline on one job."""
+
+    megascale: JobReport
+    baseline: JobReport
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline.iteration_time / self.megascale.iteration_time
+
+    @property
+    def mfu_gain(self) -> float:
+        return self.megascale.mfu - self.baseline.mfu
+
+    def summary(self) -> str:
+        return (
+            f"{self.megascale.job.n_gpus} GPUs, batch {self.megascale.job.global_batch}: "
+            f"MegaScale {self.megascale.mfu * 100:.1f}% vs "
+            f"{self.baseline.system} {self.baseline.mfu * 100:.1f}% MFU "
+            f"({self.speedup:.2f}x speedup)"
+        )
+
+
+def render_table(reports: List[JobReport]) -> str:
+    lines = [JobReport.table_header()]
+    lines.extend(r.table_row() for r in reports)
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Unit helpers and constants.
+
+All simulator-internal quantities use SI base units: seconds, bytes,
+bytes/second, FLOPs, FLOP/s.  These helpers exist so that configuration
+code reads like the hardware datasheets it is transcribed from
+(``400 * Gbps``, ``80 * GiB``, ``312 * TFLOPS``).
+"""
+
+from __future__ import annotations
+
+# -- sizes (bytes) ------------------------------------------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+KiB = 1024.0
+MiB = 1024.0**2
+GiB = 1024.0**3
+TiB = 1024.0**4
+
+# -- rates --------------------------------------------------------------
+# Network rates are quoted in bits/second on datasheets; we store bytes/s.
+Kbps = 1e3 / 8
+Mbps = 1e6 / 8
+Gbps = 1e9 / 8
+Tbps = 1e12 / 8
+
+# -- compute ------------------------------------------------------------
+GFLOPS = 1e9
+TFLOPS = 1e12
+PFLOPS = 1e15
+
+# -- time ---------------------------------------------------------------
+NANOSECOND = 1e-9
+MICROSECOND = 1e-6
+MILLISECOND = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count (decimal prefixes)."""
+    for unit, scale in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Human-readable link rate in bits/second."""
+    bits = bytes_per_s * 8
+    for unit, scale in (("Tbps", 1e12), ("Gbps", 1e9), ("Mbps", 1e6)):
+        if abs(bits) >= scale:
+            return f"{bits / scale:.1f} {unit}"
+    return f"{bits:.0f} bps"
+
+
+def fmt_time(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < MINUTE:
+        return f"{seconds:.2f} s"
+    if seconds < HOUR:
+        return f"{seconds / MINUTE:.1f} min"
+    if seconds < DAY:
+        return f"{seconds / HOUR:.2f} h"
+    return f"{seconds / DAY:.2f} days"
+
+
+def fmt_flops(flops_per_s: float) -> str:
+    """Human-readable compute rate."""
+    for unit, scale in (("PFLOP/s", PFLOPS), ("TFLOP/s", TFLOPS), ("GFLOP/s", GFLOPS)):
+        if abs(flops_per_s) >= scale:
+            return f"{flops_per_s / scale:.1f} {unit}"
+    return f"{flops_per_s:.0f} FLOP/s"

@@ -1,0 +1,21 @@
+"""Data pipeline substrate: datasets, loaders, shared-memory staging."""
+
+from .dataset import EpochSampler, TokenDataset, shards_disjoint_and_complete
+from .loader import (
+    LoaderConfig,
+    LoaderStats,
+    simulate_redundant_loading,
+    simulate_tree_loading,
+)
+from .shm import SharedMemoryBuffer
+
+__all__ = [
+    "EpochSampler",
+    "LoaderConfig",
+    "LoaderStats",
+    "SharedMemoryBuffer",
+    "TokenDataset",
+    "shards_disjoint_and_complete",
+    "simulate_redundant_loading",
+    "simulate_tree_loading",
+]

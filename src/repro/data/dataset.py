@@ -1,0 +1,89 @@
+"""Synthetic pre-tokenized dataset (§3.4 substrate).
+
+Stands in for the paper's tokenized corpus: an indexable sequence of
+fixed-length samples with deterministic contents, plus the epoch-shuffled
+index sampler Megatron-style loaders use.  Contents are generated on
+demand from the seed, so a "multi-trillion-token" dataset costs no
+memory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TokenDataset:
+    """Deterministic virtual dataset of ``n_samples`` x ``seq_len`` tokens."""
+
+    n_samples: int
+    seq_len: int
+    vocab_size: int = 64_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1 or self.seq_len < 1 or self.vocab_size < 2:
+            raise ValueError("dataset dimensions must be positive (vocab >= 2)")
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    @property
+    def total_tokens(self) -> int:
+        return self.n_samples * self.seq_len
+
+    @property
+    def sample_bytes(self) -> int:
+        return self.seq_len * 2  # uint16-packed token ids
+
+    def sample(self, index: int) -> np.ndarray:
+        """Tokens of one sample, deterministic in (seed, index)."""
+        if not 0 <= index < self.n_samples:
+            raise IndexError(f"sample {index} outside dataset of {self.n_samples}")
+        digest = hashlib.sha256(f"{self.seed}:{index}".encode()).digest()
+        rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+        return rng.integers(0, self.vocab_size, self.seq_len, dtype=np.int64)
+
+
+@dataclass
+class EpochSampler:
+    """Epoch-shuffled sample order, sharded across data-parallel replicas."""
+
+    dataset: TokenDataset
+    dp_rank: int
+    dp_size: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.dp_rank < self.dp_size:
+            raise ValueError("dp_rank must be in [0, dp_size)")
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """This replica's shard of the shuffled epoch order."""
+        rng = np.random.default_rng(self.seed * 1_000_003 + epoch)
+        order = rng.permutation(len(self.dataset))
+        return order[self.dp_rank :: self.dp_size]
+
+    def iter_batches(self, epoch: int, batch_size: int) -> Iterator[List[int]]:
+        """Yield lists of sample indices; drops the ragged tail batch."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = self.epoch_order(epoch)
+        for start in range(0, len(order) - batch_size + 1, batch_size):
+            yield [int(i) for i in order[start : start + batch_size]]
+
+
+def shards_disjoint_and_complete(dataset: TokenDataset, dp_size: int, epoch: int = 0) -> bool:
+    """Every sample appears in exactly one replica's shard (invariant)."""
+    seen: set = set()
+    for rank in range(dp_size):
+        shard = EpochSampler(dataset, rank, dp_size).epoch_order(epoch)
+        shard_set = set(int(i) for i in shard)
+        if seen & shard_set:
+            return False
+        seen |= shard_set
+    return len(seen) == len(dataset)

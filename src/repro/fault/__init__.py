@@ -1,0 +1,84 @@
+"""Fault tolerance: faults, heartbeats, detection, diagnostics, recovery."""
+
+from .checkpoint import CheckpointCost, CheckpointPlanner, HdfsModel, lost_progress
+from .detector import Anomaly, AnomalyDetector, Verdict
+from .diagnostics import (
+    DiagnosticResult,
+    DiagnosticSuite,
+    LoopbackTest,
+    NcclAllReduceTest,
+    NcclAllToAllTest,
+    RnicToRnicTest,
+)
+from .driver import (
+    ProductionRun,
+    ProductionRunConfig,
+    ProductionRunResult,
+    RobustTrainingDriver,
+    catch_up_time,
+    default_loss_curve,
+)
+from .executor import Executor
+from .faults import (
+    FAULT_CATALOG,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    Manifestation,
+    auto_detectable_fraction,
+)
+from .interval import IntervalPlan, expected_overhead_fraction, plan_interval, young_daly_interval
+from .scenarios import ALL_SCENARIOS, Scenario, ScenarioOutcome, run_all
+from .heartbeat import ERROR_KEYWORDS, HeartbeatHistory, HeartbeatMessage, scan_log_lines
+from .manual import EvictionTicket, ManualEvictionQueue, TicketState
+from .kubernetes import MockKubernetes, Pod
+from .recovery import RecoveryLog, RecoveryRecord, effective_training_rate
+
+__all__ = [
+    "Anomaly",
+    "AnomalyDetector",
+    "CheckpointCost",
+    "CheckpointPlanner",
+    "DiagnosticResult",
+    "DiagnosticSuite",
+    "ERROR_KEYWORDS",
+    "Executor",
+    "FAULT_CATALOG",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "HdfsModel",
+    "HeartbeatHistory",
+    "IntervalPlan",
+    "ALL_SCENARIOS",
+    "Scenario",
+    "ScenarioOutcome",
+    "HeartbeatMessage",
+    "LoopbackTest",
+    "Manifestation",
+    "MockKubernetes",
+    "EvictionTicket",
+    "ManualEvictionQueue",
+    "TicketState",
+    "NcclAllReduceTest",
+    "NcclAllToAllTest",
+    "Pod",
+    "ProductionRun",
+    "ProductionRunConfig",
+    "ProductionRunResult",
+    "RecoveryLog",
+    "RecoveryRecord",
+    "RnicToRnicTest",
+    "RobustTrainingDriver",
+    "Verdict",
+    "auto_detectable_fraction",
+    "catch_up_time",
+    "default_loss_curve",
+    "effective_training_rate",
+    "lost_progress",
+    "scan_log_lines",
+    "expected_overhead_fraction",
+    "plan_interval",
+    "run_all",
+    "young_daly_interval",
+]

@@ -1,0 +1,142 @@
+"""Fast checkpointing and recovery (§4.4).
+
+**Two-stage save**: each GPU first dumps its state to pinned host memory
+over PCIe (this is the only part that blocks training — "several
+seconds"), then a background process drains host memory to the
+distributed file system asynchronously.
+
+**Optimized recovery**: GPU workers in the same data-parallel group share
+the parameter partition, so a single reader per group pulls it from HDFS
+and broadcasts to its peers, cutting the read load by the DP degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..collectives.primitives import tree_broadcast
+from ..hardware.node import NodeSpec
+from ..model.memory import (
+    OPTIMIZER_BYTES_PER_PARAM,
+    PARAM_BYTES,
+    checkpoint_bytes_per_gpu,
+    params_per_gpu,
+)
+from ..model.transformer import ModelSpec
+from ..parallel.plan import ParallelPlan
+
+
+@dataclass(frozen=True)
+class HdfsModel:
+    """Distributed-filesystem throughput model."""
+
+    aggregate_read_bandwidth: float = 60e9  # bytes/s across the cluster
+    aggregate_write_bandwidth: float = 40e9
+    per_client_bandwidth: float = 1.5e9  # one worker's stream
+
+    def __post_init__(self) -> None:
+        if min(
+            self.aggregate_read_bandwidth,
+            self.aggregate_write_bandwidth,
+            self.per_client_bandwidth,
+        ) <= 0:
+            raise ValueError("HDFS bandwidths must be positive")
+
+    def read_time(self, total_bytes: float, n_clients: int) -> float:
+        """Time for ``n_clients`` to collectively read ``total_bytes``."""
+        if total_bytes < 0 or n_clients < 1:
+            raise ValueError("invalid read request")
+        rate = min(self.aggregate_read_bandwidth, n_clients * self.per_client_bandwidth)
+        return total_bytes / rate
+
+    def write_time(self, total_bytes: float, n_clients: int) -> float:
+        if total_bytes < 0 or n_clients < 1:
+            raise ValueError("invalid write request")
+        rate = min(self.aggregate_write_bandwidth, n_clients * self.per_client_bandwidth)
+        return total_bytes / rate
+
+
+@dataclass(frozen=True)
+class CheckpointCost:
+    """Timing of one checkpoint under the two-stage scheme."""
+
+    stage1_stall: float  # GPU -> host memory; blocks training
+    stage2_async: float  # host memory -> HDFS; off the critical path
+
+    @property
+    def training_interruption(self) -> float:
+        return self.stage1_stall
+
+
+@dataclass
+class CheckpointPlanner:
+    """Prices saves and restores for one (model, plan) deployment."""
+
+    model: ModelSpec
+    plan: ParallelPlan
+    node: NodeSpec = None  # type: ignore[assignment]
+    hdfs: HdfsModel = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.node is None:
+            self.node = NodeSpec()
+        if self.hdfs is None:
+            self.hdfs = HdfsModel()
+
+    @property
+    def bytes_per_gpu(self) -> float:
+        return checkpoint_bytes_per_gpu(
+            self.model, self.plan.tp, self.plan.pp, self.plan.dp, self.plan.zero_stage
+        )
+
+    @property
+    def unique_bytes(self) -> float:
+        """Checkpoint content with DP-duplicated parameters written once."""
+        per_gpu_params = params_per_gpu(self.model, self.plan.tp, self.plan.pp)
+        params = per_gpu_params * PARAM_BYTES * self.plan.tp * self.plan.pp
+        optimizer = self.model.n_params * OPTIMIZER_BYTES_PER_PARAM
+        return params + optimizer
+
+    def save_cost(self, two_stage: bool = True) -> CheckpointCost:
+        """Blocking stall + async drain of one checkpoint."""
+        stage1 = self.bytes_per_gpu / self.node.gpu_spec.pcie_bandwidth
+        writers = self.plan.world_size
+        stage2 = self.hdfs.write_time(self.unique_bytes, writers)
+        if two_stage:
+            return CheckpointCost(stage1_stall=stage1, stage2_async=stage2)
+        # Naive: training blocks until HDFS has everything.
+        return CheckpointCost(stage1_stall=stage1 + stage2, stage2_async=0.0)
+
+    def min_checkpoint_interval(self) -> float:
+        """Shortest safe interval: the async drain must finish first."""
+        return self.save_cost().stage2_async
+
+    def recovery_time(self, optimized: bool = True) -> float:
+        """Load the latest checkpoint into every GPU.
+
+        Naive: every worker reads its partition directly (DP-duplicated
+        parameter reads hammer HDFS).  Optimized: one reader per DP group
+        + broadcast to peers.
+        """
+        if optimized:
+            readers = self.plan.tp * self.plan.pp  # one per DP group
+            read = self.hdfs.read_time(self.unique_bytes, readers)
+            broadcast = tree_broadcast(
+                self.bytes_per_gpu,
+                self.plan.dp,
+                self.node.nic_spec.line_rate,
+                1e-5,
+            )
+            pcie = self.bytes_per_gpu / self.node.gpu_spec.pcie_bandwidth
+            return read + broadcast + pcie
+        total = self.bytes_per_gpu * self.plan.world_size
+        read = self.hdfs.read_time(total, self.plan.world_size)
+        pcie = self.bytes_per_gpu / self.node.gpu_spec.pcie_bandwidth
+        return read + pcie
+
+
+def lost_progress(checkpoint_interval_iterations: int, iteration_time: float) -> float:
+    """Expected training time lost to the last unsaved interval (half of it)."""
+    if checkpoint_interval_iterations < 1 or iteration_time <= 0:
+        raise ValueError("need positive interval and iteration time")
+    return 0.5 * checkpoint_interval_iterations * iteration_time

@@ -1,0 +1,98 @@
+"""Driver-side anomaly detection (§4.2).
+
+Three independent signals, mirroring the paper:
+
+1. **Missed heartbeats** — no beat within the timeout window: the node
+   (or its daemon) is gone.
+2. **Log keywords / explicit status** — the training process reported an
+   error or its logs contain a known-fatal keyword: immediate alert.
+3. **RDMA traffic** — training traffic is periodic; a collapse to ~zero
+   with heartbeats still flowing indicates a hang (automatic recovery);
+   a significant *decline* indicates degradation (alert for manual
+   investigation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .heartbeat import HeartbeatHistory, scan_log_lines
+
+
+class Verdict(enum.Enum):
+    HEALTHY = "healthy"
+    MISSING_HEARTBEAT = "missing-heartbeat"
+    EXPLICIT_ERROR = "explicit-error"
+    TRAFFIC_CEASED = "traffic-ceased"  # auto recovery (hang)
+    TRAFFIC_DECLINED = "traffic-declined"  # alert for manual investigation
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    node_id: int
+    verdict: Verdict
+    detail: str = ""
+
+    @property
+    def triggers_auto_recovery(self) -> bool:
+        return self.verdict in (
+            Verdict.MISSING_HEARTBEAT,
+            Verdict.EXPLICIT_ERROR,
+            Verdict.TRAFFIC_CEASED,
+        )
+
+
+@dataclass
+class AnomalyDetector:
+    """Evaluates heartbeat histories against the three §4.2 rules."""
+
+    heartbeat_timeout: float = 30.0  # seconds without a beat
+    traffic_floor: float = 1e6  # bytes/s below which traffic "ceased"
+    decline_ratio: float = 0.5  # sustained drop below this fraction alerts
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive")
+        if not 0 < self.decline_ratio < 1:
+            raise ValueError("decline_ratio must be in (0, 1)")
+
+    def check(self, history: HeartbeatHistory, now: float) -> Optional[Anomaly]:
+        """Evaluate one node; ``None`` means healthy."""
+        if history.silent_for(now) > self.heartbeat_timeout:
+            return Anomaly(
+                history.node_id,
+                Verdict.MISSING_HEARTBEAT,
+                f"silent for {history.silent_for(now):.0f}s",
+            )
+        if not history.beats:
+            return None
+        last = history.beats[-1]
+        if last.process_status != "running":
+            return Anomaly(history.node_id, Verdict.EXPLICIT_ERROR, last.process_status)
+        keywords = scan_log_lines(last.log_lines)
+        if keywords:
+            return Anomaly(history.node_id, Verdict.EXPLICIT_ERROR, ", ".join(keywords))
+        rates = history.rdma_rates()
+        if len(rates) >= 3:
+            baseline = max(rates[: len(rates) // 2]) if rates[: len(rates) // 2] else 0.0
+            current = rates[-1]
+            if baseline > self.traffic_floor and current < self.traffic_floor:
+                return Anomaly(history.node_id, Verdict.TRAFFIC_CEASED, "rdma traffic stopped")
+            if baseline > self.traffic_floor and current < baseline * self.decline_ratio:
+                return Anomaly(
+                    history.node_id,
+                    Verdict.TRAFFIC_DECLINED,
+                    f"rdma rate {current / baseline:.0%} of baseline",
+                )
+        return None
+
+    def sweep(self, histories: List[HeartbeatHistory], now: float) -> List[Anomaly]:
+        """Check every node; returns the anomalies found."""
+        anomalies = []
+        for history in histories:
+            anomaly = self.check(history, now)
+            if anomaly is not None:
+                anomalies.append(anomaly)
+        return anomalies

@@ -1,0 +1,286 @@
+"""The robust-training driver (§4.1, Figure 5) and production runs.
+
+Two layers:
+
+* :class:`RobustTrainingDriver` — the event-driven state machine over
+  live executors, heartbeat channels, the anomaly detector, diagnostics
+  and mock Kubernetes.  Exercised at small scale in tests (it runs real
+  heartbeats through real channels).
+* :class:`ProductionRun` — the multi-week, 10k-GPU timeline used for
+  Figure 11: fault arrivals drive suspend/diagnose/evict/resume cycles
+  with latencies priced by the same subsystems (detector windows,
+  diagnostic suite duration, ordered group init, two-stage checkpoint
+  recovery), plus a loss curve over the tokens actually trained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..collectives.init import group_init_time
+from ..collectives.kvstore import REDIS_STORE
+from ..hardware.cluster import Cluster
+from ..parallel.plan import ParallelPlan
+from ..sim import Channel, Simulator
+from .checkpoint import CheckpointPlanner, lost_progress
+from .detector import AnomalyDetector
+from .diagnostics import DiagnosticSuite
+from .executor import Executor
+from .faults import FaultEvent, FaultInjector, Manifestation
+from .heartbeat import HeartbeatHistory
+from .kubernetes import MockKubernetes
+from .recovery import RecoveryLog, RecoveryRecord, effective_training_rate
+
+
+# -- live, event-driven driver (small scale) ---------------------------------
+
+
+@dataclass
+class RobustTrainingDriver:
+    """Drives executors through detect -> diagnose -> evict -> resume."""
+
+    sim: Simulator
+    cluster: Cluster
+    kubernetes: MockKubernetes
+    detector: AnomalyDetector = field(default_factory=AnomalyDetector)
+    diagnostics: DiagnosticSuite = field(default_factory=DiagnosticSuite)
+    heartbeat_interval: float = 10.0
+    channel: Channel = None  # type: ignore[assignment]
+    executors: List[Executor] = field(default_factory=list)
+    histories: dict = field(default_factory=dict)
+    state: str = "initializing"
+    recoveries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.channel is None:
+            self.channel = Channel(self.sim, latency=0.05, name="heartbeats")
+
+    def start(self) -> None:
+        self.kubernetes.allocate_pods()
+        for node in self.cluster.nodes:
+            executor = Executor(
+                sim=self.sim,
+                node=node,
+                channel=self.channel,
+                heartbeat_interval=self.heartbeat_interval,
+            )
+            executor.start()
+            self.executors.append(executor)
+            self.histories[node.node_id] = HeartbeatHistory(node_id=node.node_id)
+        self.state = "running"
+
+    def drain_heartbeats(self) -> int:
+        """Ingest every delivered heartbeat; returns how many."""
+        count = 0
+        while True:
+            beat = self.channel.try_recv()
+            if beat is None:
+                return count
+            history = self.histories.get(beat.node_id)
+            if history is not None:
+                history.record(beat)
+            count += 1
+
+    def check_anomalies(self) -> List:
+        """Run the §4.2 rules over current histories."""
+        self.drain_heartbeats()
+        return self.detector.sweep(list(self.histories.values()), self.sim.now)
+
+    def recover(self) -> List[int]:
+        """Suspend, diagnose, evict faulty nodes, resume.  Returns evictions."""
+        self.state = "suspended"
+        faulty = self.diagnostics.find_faulty(self.cluster.nodes)
+        evicted = []
+        for node in faulty:
+            executor = next(e for e in self.executors if e.node is node)
+            executor.stop()
+            replacement = self.kubernetes.block_and_replace(node.node_id)
+            del self.histories[node.node_id]
+            new_exec = Executor(
+                sim=self.sim,
+                node=replacement,
+                channel=self.channel,
+                heartbeat_interval=self.heartbeat_interval,
+            )
+            new_exec.start()
+            self.executors[self.executors.index(executor)] = new_exec
+            self.histories[replacement.node_id] = HeartbeatHistory(node_id=replacement.node_id)
+            evicted.append(node.node_id)
+        self.recoveries += 1
+        self.state = "running"
+        return evicted
+
+
+# -- multi-week production timeline (Figure 11) --------------------------------
+
+
+def default_loss_curve(tokens: float) -> float:
+    """Chinchilla-style surrogate for the Figure 11 loss trajectory.
+
+    The paper's loss values are proprietary (the figure is normalized);
+    any smooth power-law decay reproduces its qualitative content.
+    """
+    return 1.7 + 14.0 * (tokens / 1e9 + 30.0) ** -0.42
+
+
+@dataclass(frozen=True)
+class ProductionRunConfig:
+    """Operational parameters of a long training run."""
+
+    iteration_time: float = 6.34  # Table 2, MegaScale @ 12,288 GPUs
+    tokens_per_iteration: float = 6144 * 2048
+    checkpoint_interval_iterations: int = 150
+    heartbeat_interval: float = 10.0
+    heartbeat_timeout: float = 30.0
+    nccl_hang_timeout: float = 120.0  # traffic-ceased detection window
+    manual_intervention_time: float = 2400.0  # the ~10% needing humans
+    silent_fault_detection_time: float = 6 * 3600.0  # heat-map review cadence
+    kubernetes_replacement_time: float = 40.0
+    checkpoint_load_optimized: bool = True
+
+
+@dataclass
+class ProductionRunResult:
+    """Everything Figure 11 and §6.3 report about one run."""
+
+    wall_time: float
+    completed_iterations: int
+    restarts: int
+    log: RecoveryLog
+    loss_points: List[Tuple[float, float, int]] = field(default_factory=list)
+    # (wall time, loss, restart index at that moment)
+
+    @property
+    def tokens_trained(self) -> float:
+        return self.loss_points[-1][0] if self.loss_points else 0.0
+
+    def effective_rate(self, iteration_time: float) -> float:
+        return effective_training_rate(
+            self.completed_iterations, iteration_time, self.wall_time
+        )
+
+
+class ProductionRun:
+    """Simulates a fault-ridden multi-week run at 10k+ GPU scale."""
+
+    def __init__(
+        self,
+        plan: ParallelPlan,
+        injector: FaultInjector,
+        config: Optional[ProductionRunConfig] = None,
+        planner: Optional[CheckpointPlanner] = None,
+        loss_curve: Callable[[float], float] = default_loss_curve,
+        diagnostics: Optional[DiagnosticSuite] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.plan = plan
+        self.injector = injector
+        self.config = config or ProductionRunConfig()
+        self.planner = planner
+        self.loss_curve = loss_curve
+        self.diagnostics = diagnostics or DiagnosticSuite()
+        self.rng = rng if rng is not None else np.random.default_rng(42)
+
+    # -- per-incident latencies ------------------------------------------------
+
+    def detection_time(self, event: FaultEvent) -> float:
+        cfg = self.config
+        if event.kind.manifestation is Manifestation.EXPLICIT:
+            # Caught by the next heartbeat's status/log keywords.
+            return float(self.rng.uniform(0, cfg.heartbeat_interval)) + 2.0
+        if event.kind.manifestation is Manifestation.HANG:
+            # RDMA traffic ceased; needs a few silent windows to be sure.
+            return cfg.nccl_hang_timeout + float(self.rng.uniform(0, cfg.heartbeat_interval))
+        # Silent: surfaces at the next heat-map review (§5.1).
+        return float(self.rng.uniform(0.2, 1.0)) * cfg.silent_fault_detection_time
+
+    def recovery_downtime(self, event: FaultEvent) -> Tuple[float, bool, int]:
+        """(downtime after detection, auto?, lost iterations)."""
+        cfg = self.config
+        diagnose = self.diagnostics.sweep_duration()
+        auto = event.kind.auto_detectable
+        manual = 0.0 if auto else cfg.manual_intervention_time
+        replace = cfg.kubernetes_replacement_time
+        init = group_init_time(self.plan, REDIS_STORE, ordered=True).total
+        load = (
+            self.planner.recovery_time(cfg.checkpoint_load_optimized)
+            if self.planner is not None
+            else 120.0
+        )
+        lost = int(self.rng.integers(0, cfg.checkpoint_interval_iterations))
+        downtime = diagnose + manual + replace + init + load
+        return downtime, auto, lost
+
+    # -- the run -------------------------------------------------------------------
+
+    def run(self, duration: float) -> ProductionRunResult:
+        """Simulate ``duration`` wall seconds of production training."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        cfg = self.config
+        events = self.injector.sample(duration)
+        log = RecoveryLog()
+        loss_points: List[Tuple[float, float, int]] = []
+
+        wall = 0.0
+        iterations = 0
+        restarts = 0
+
+        def record_loss() -> None:
+            tokens = iterations * cfg.tokens_per_iteration
+            loss_points.append((tokens, self.loss_curve(tokens), restarts))
+
+        record_loss()
+        for event in events:
+            if event.time <= wall:
+                continue  # fault landed during a recovery window
+            # Train until the fault.
+            productive = event.time - wall
+            iterations += int(productive / cfg.iteration_time)
+            wall = event.time
+            record_loss()
+            # Detect, diagnose, recover.
+            detect = self.detection_time(event)
+            downtime, auto, lost = self.recovery_downtime(event)
+            detected_at = wall + detect
+            diagnosed_at = detected_at + self.diagnostics.sweep_duration()
+            resumed_at = detected_at + downtime
+            log.add(
+                RecoveryRecord(
+                    fault=event,
+                    detected_at=detected_at,
+                    diagnosed_at=diagnosed_at,
+                    resumed_at=resumed_at,
+                    auto=auto,
+                    lost_iterations=lost,
+                )
+            )
+            iterations = max(0, iterations - lost)
+            wall = resumed_at
+            restarts += 1
+            record_loss()
+            if wall >= duration:
+                break
+        if wall < duration:
+            iterations += int((duration - wall) / cfg.iteration_time)
+            wall = duration
+            record_loss()
+        return ProductionRunResult(
+            wall_time=wall,
+            completed_iterations=iterations,
+            restarts=restarts,
+            log=log,
+            loss_points=loss_points,
+        )
+
+
+def catch_up_time(config: ProductionRunConfig) -> float:
+    """Expected time to regain pre-crash progress after resuming (§6.3).
+
+    Lost progress averages half a checkpoint interval; "catching up"
+    means re-running those iterations.
+    """
+    return lost_progress(config.checkpoint_interval_iterations, config.iteration_time)

@@ -1,0 +1,117 @@
+"""Per-node executor with a robust-training daemon (§4.1).
+
+One executor manages one node: it launches the training processes and a
+daemon that heartbeats the driver.  The executor's behaviour under fault
+follows the fault's manifestation: explicit faults change the reported
+status / logs, hangs keep heartbeats flowing while RDMA traffic stops,
+crashes silence the heartbeat altogether.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hardware.node import Node
+from ..sim import Channel, Process, Simulator
+from .faults import FaultKind, Manifestation
+from .heartbeat import HeartbeatMessage
+
+# Steady-state RDMA rate a healthy training node reports (order of the
+# per-NIC DP/PP traffic duty cycle).
+HEALTHY_RDMA_RATE = 12e9
+
+
+@dataclass
+class Executor:
+    """Simulated executor: heartbeats + fault manifestation."""
+
+    sim: Simulator
+    node: Node
+    channel: Channel  # to the driver
+    heartbeat_interval: float = 10.0
+    pod_name: str = ""
+    active_fault: Optional[FaultKind] = None
+    stopped: bool = False
+    _proc: Optional[Process] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if not self.pod_name:
+            self.pod_name = f"pod-{self.node.node_id}"
+
+    def start(self) -> None:
+        self._proc = Process(self.sim, self._run(), name=f"executor-{self.node.node_id}")
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    def inject(self, fault: FaultKind) -> None:
+        """Apply a fault to this node; manifestation drives the beats."""
+        fault.apply(self.node)
+        self.active_fault = fault
+
+    def clear_fault(self) -> None:
+        self.active_fault = None
+
+    # -- daemon ------------------------------------------------------------
+
+    def _run(self):
+        while not self.stopped:
+            yield self.sim.timeout(self.heartbeat_interval)
+            if self.stopped:
+                return
+            beat = self._compose_heartbeat()
+            if beat is not None:
+                self.channel.send(beat)
+
+    def _compose_heartbeat(self) -> Optional[HeartbeatMessage]:
+        fault = self.active_fault
+        if fault is not None and fault.manifestation is Manifestation.EXPLICIT:
+            # Process died: daemon reports the error once, with logs.
+            return HeartbeatMessage(
+                time=self.sim.now,
+                node_id=self.node.node_id,
+                ip=self.node.ip,
+                pod_name=self.pod_name,
+                process_status="error",
+                log_lines=(self._log_line_for(fault),),
+                rdma_tx_rate=0.0,
+                rdma_rx_rate=0.0,
+            )
+        if fault is not None and fault.manifestation is Manifestation.HANG:
+            # Hung in NCCL: process "running", traffic gone.
+            return HeartbeatMessage(
+                time=self.sim.now,
+                node_id=self.node.node_id,
+                ip=self.node.ip,
+                pod_name=self.pod_name,
+                process_status="running",
+                rdma_tx_rate=0.0,
+                rdma_rx_rate=0.0,
+            )
+        # Healthy or silently degraded: normal-looking heartbeat (the
+        # silent case is exactly what heartbeats cannot catch).
+        rate = HEALTHY_RDMA_RATE * self.node.speed_factor
+        return HeartbeatMessage(
+            time=self.sim.now,
+            node_id=self.node.node_id,
+            ip=self.node.ip,
+            pod_name=self.pod_name,
+            process_status="running",
+            rdma_tx_rate=rate,
+            rdma_rx_rate=rate,
+        )
+
+    @staticmethod
+    def _log_line_for(fault: FaultKind) -> str:
+        mapping = {
+            "cuda-error": "RuntimeError: CUDA error: an illegal memory access was encountered",
+            "segfault": "Segmentation fault (core dumped)",
+            "gpu-ecc": "ECC error: uncorrectable error detected on GPU 0",
+            "nic-down": "mlx5: link down on port 1",
+        }
+        return mapping.get(fault.name, f"fatal: {fault.name}")

@@ -1,0 +1,74 @@
+"""Heartbeat messages (§4.2).
+
+Each node's training daemon sends the driver a periodic heartbeat
+carrying the executor's identity, the training-process status, recent
+stdout/stderr lines, and RDMA traffic counters.  The detector
+(:mod:`repro.fault.detector`) turns streams of these into verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class HeartbeatMessage:
+    """One heartbeat from one executor."""
+
+    time: float
+    node_id: int
+    ip: str
+    pod_name: str
+    process_status: str  # "running" | "error" | "exited"
+    log_lines: Tuple[str, ...] = ()
+    rdma_tx_rate: float = 0.0  # bytes/s over the last interval
+    rdma_rx_rate: float = 0.0
+
+
+# Log keywords whose appearance triggers an immediate real-time alert.
+ERROR_KEYWORDS = (
+    "CUDA error",
+    "CUDA out of memory",
+    "Segmentation fault",
+    "NCCL timeout",
+    "ECC error",
+    "uncorrectable",
+    "link down",
+)
+
+
+def scan_log_lines(lines: Tuple[str, ...]) -> List[str]:
+    """Return the error keywords present in a heartbeat's log lines."""
+    found = []
+    for keyword in ERROR_KEYWORDS:
+        if any(keyword.lower() in line.lower() for line in lines):
+            found.append(keyword)
+    return found
+
+
+@dataclass
+class HeartbeatHistory:
+    """Driver-side record of one executor's heartbeats."""
+
+    node_id: int
+    beats: List[HeartbeatMessage] = field(default_factory=list)
+
+    def record(self, beat: HeartbeatMessage) -> None:
+        if beat.node_id != self.node_id:
+            raise ValueError(f"heartbeat for node {beat.node_id} recorded on {self.node_id}")
+        if self.beats and beat.time < self.beats[-1].time:
+            raise ValueError("heartbeats must arrive in time order")
+        self.beats.append(beat)
+
+    @property
+    def last_seen(self) -> float:
+        return self.beats[-1].time if self.beats else float("-inf")
+
+    def silent_for(self, now: float) -> float:
+        return now - self.last_seen
+
+    def rdma_rates(self, window: int = 30) -> List[float]:
+        """Recent tx+rx rates, oldest first."""
+        recent = self.beats[-window:]
+        return [b.rdma_tx_rate + b.rdma_rx_rate for b in recent]

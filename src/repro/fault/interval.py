@@ -1,0 +1,88 @@
+"""Optimal checkpoint-interval selection (§4.4 follow-through).
+
+The paper increases checkpoint frequency to bound lost work but keeps
+the on-path stall small via the two-stage scheme.  The classic
+Young/Daly analysis makes the trade-off explicit: with per-checkpoint
+cost ``C`` (the stall) and mean time between failures ``M``, the optimal
+interval is approximately ``sqrt(2 C M)``; we also provide the exact
+expected-overhead model so the optimum can be validated numerically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from .checkpoint import CheckpointPlanner
+from .faults import FaultInjector
+
+
+def young_daly_interval(checkpoint_cost: float, mtbf: float) -> float:
+    """First-order optimal seconds between checkpoints: sqrt(2 C M)."""
+    if checkpoint_cost <= 0 or mtbf <= 0:
+        raise ValueError("checkpoint cost and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_cost * mtbf)
+
+
+def expected_overhead_fraction(
+    interval: float, checkpoint_cost: float, mtbf: float, recovery_cost: float = 0.0
+) -> float:
+    """Expected fraction of wall time lost to checkpoints + rollback.
+
+    Per interval: the stall ``C``; on failure (probability interval/M for
+    small intervals) half the interval plus the recovery cost is lost.
+    """
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    if checkpoint_cost < 0 or mtbf <= 0 or recovery_cost < 0:
+        raise ValueError("invalid cost parameters")
+    checkpoint_share = checkpoint_cost / interval
+    failure_rate = 1.0 / mtbf
+    rollback_share = failure_rate * (interval / 2.0 + recovery_cost)
+    return checkpoint_share + rollback_share
+
+
+@dataclass(frozen=True)
+class IntervalPlan:
+    """A chosen checkpoint cadence with its expected costs."""
+
+    interval_seconds: float
+    interval_iterations: int
+    overhead_fraction: float
+    checkpoint_cost: float
+    mtbf: float
+
+
+def plan_interval(
+    planner: CheckpointPlanner,
+    injector: FaultInjector,
+    iteration_time: float,
+    recovery_cost: Optional[float] = None,
+) -> IntervalPlan:
+    """Pick the checkpoint cadence for a deployment.
+
+    Uses the two-stage stall as the per-checkpoint cost, the fault
+    injector's aggregate rate for the MTBF, and clamps the interval to at
+    least the async-drain time (a new checkpoint cannot start before the
+    previous upload finished) and at least one iteration.
+    """
+    if iteration_time <= 0:
+        raise ValueError("iteration_time must be positive")
+    cost = planner.save_cost().training_interruption
+    mtbf = 1.0 / injector.cluster_rate_per_second()
+    recovery = (
+        recovery_cost if recovery_cost is not None else planner.recovery_time(optimized=True)
+    )
+    interval = young_daly_interval(cost, mtbf)
+    interval = max(interval, planner.min_checkpoint_interval(), iteration_time)
+    iterations = max(1, round(interval / iteration_time))
+    return IntervalPlan(
+        interval_seconds=iterations * iteration_time,
+        interval_iterations=iterations,
+        overhead_fraction=expected_overhead_fraction(
+            iterations * iteration_time, cost, mtbf, recovery
+        ),
+        checkpoint_cost=cost,
+        mtbf=mtbf,
+    )

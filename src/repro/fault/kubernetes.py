@@ -1,0 +1,76 @@
+"""Mock Kubernetes scheduler (§4.1).
+
+The driver interfaces with a custom Kubernetes to allocate Pods, block
+faulty nodes, and replenish the cluster with healthy spares that have
+passed the diagnostic battery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from ..hardware.cluster import Cluster
+from ..hardware.node import Node
+from .diagnostics import DiagnosticSuite
+
+
+@dataclass
+class Pod:
+    name: str
+    node_id: int
+    running: bool = True
+
+
+@dataclass
+class MockKubernetes:
+    """Pod lifecycle + node blocking over a :class:`Cluster`."""
+
+    cluster: Cluster
+    allocation_delay: float = 40.0  # schedule + image pull + daemon start
+    diagnostics: DiagnosticSuite = field(default_factory=DiagnosticSuite)
+    blocked_ips: Set[str] = field(default_factory=set)
+    pods: Dict[int, Pod] = field(default_factory=dict)
+    _pod_counter: int = 0
+
+    def allocate_pods(self) -> List[Pod]:
+        """One executor Pod per active node."""
+        for node in self.cluster.nodes:
+            if node.node_id not in self.pods:
+                self._pod_counter += 1
+                self.pods[node.node_id] = Pod(
+                    name=f"trainer-{self._pod_counter}", node_id=node.node_id
+                )
+        return list(self.pods.values())
+
+    def block_and_replace(self, node_id: int) -> Node:
+        """Evict a faulty node and bring in a diagnosed-healthy spare.
+
+        The spare must pass the diagnostic suite before joining (the
+        paper replenishes only with "healthy ones which pass our
+        diagnostic tests").
+        """
+        node = self.cluster.node(node_id)
+        self.blocked_ips.add(node.ip)
+        pod = self.pods.pop(node_id, None)
+        if pod is not None:
+            pod.running = False
+        while True:
+            replacement = self.cluster.evict(node_id)
+            if self.diagnostics.node_passes(replacement):
+                break
+            # A bad spare: block it too and try the next one.
+            self.blocked_ips.add(replacement.ip)
+            node_id = replacement.node_id
+        self._pod_counter += 1
+        self.pods[replacement.node_id] = Pod(
+            name=f"trainer-{self._pod_counter}", node_id=replacement.node_id
+        )
+        return replacement
+
+    def replacement_time(self) -> float:
+        """Wall time to evict + schedule + start the replacement Pod."""
+        return self.allocation_delay
+
+    def is_blocked(self, ip: str) -> bool:
+        return ip in self.blocked_ips

@@ -1,0 +1,108 @@
+"""Manual eviction interface (§4.1).
+
+"Additionally, we provide a user interface that allows for manual
+eviction of nodes, particularly for those identified through manual
+analysis as in §5."  This is that interface: operators file eviction
+tickets (with the evidence that motivated them), the driver consumes the
+queue during its next recovery pass, and everything is audit-logged.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class TicketState(enum.Enum):
+    PENDING = "pending"
+    APPROVED = "approved"
+    EXECUTED = "executed"
+    REJECTED = "rejected"
+
+
+@dataclass
+class EvictionTicket:
+    """One operator-filed request to remove a node."""
+
+    ticket_id: int
+    node_id: int
+    reason: str
+    evidence: str  # e.g. "heat-map outlier (+11% fwd latency over 2k steps)"
+    filed_by: str
+    state: TicketState = TicketState.PENDING
+    resolution: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.reason:
+            raise ValueError("a ticket needs a reason")
+
+
+@dataclass
+class ManualEvictionQueue:
+    """Ticket queue + audit log consumed by the robust-training driver."""
+
+    tickets: List[EvictionTicket] = field(default_factory=list)
+    audit_log: List[str] = field(default_factory=list)
+    _next_id: int = 1
+
+    def file(self, node_id: int, reason: str, evidence: str = "", filed_by: str = "oncall") -> EvictionTicket:
+        ticket = EvictionTicket(
+            ticket_id=self._next_id,
+            node_id=node_id,
+            reason=reason,
+            evidence=evidence,
+            filed_by=filed_by,
+        )
+        self._next_id += 1
+        self.tickets.append(ticket)
+        self.audit_log.append(
+            f"ticket #{ticket.ticket_id}: {filed_by} requested eviction of node "
+            f"{node_id} ({reason})"
+        )
+        return ticket
+
+    def pending(self) -> List[EvictionTicket]:
+        return [t for t in self.tickets if t.state is TicketState.PENDING]
+
+    def approve(self, ticket_id: int, approver: str = "driver") -> EvictionTicket:
+        ticket = self._get(ticket_id)
+        if ticket.state is not TicketState.PENDING:
+            raise ValueError(f"ticket #{ticket_id} is {ticket.state.value}, not pending")
+        ticket.state = TicketState.APPROVED
+        self.audit_log.append(f"ticket #{ticket_id}: approved by {approver}")
+        return ticket
+
+    def reject(self, ticket_id: int, why: str) -> EvictionTicket:
+        ticket = self._get(ticket_id)
+        if ticket.state is not TicketState.PENDING:
+            raise ValueError(f"ticket #{ticket_id} is {ticket.state.value}, not pending")
+        ticket.state = TicketState.REJECTED
+        ticket.resolution = why
+        self.audit_log.append(f"ticket #{ticket_id}: rejected ({why})")
+        return ticket
+
+    def execute_approved(self, kubernetes) -> List[int]:
+        """Evict every approved node through Kubernetes; returns node ids."""
+        executed = []
+        for ticket in self.tickets:
+            if ticket.state is not TicketState.APPROVED:
+                continue
+            replacement = kubernetes.block_and_replace(ticket.node_id)
+            ticket.state = TicketState.EXECUTED
+            ticket.resolution = f"replaced by node {replacement.node_id}"
+            self.audit_log.append(
+                f"ticket #{ticket.ticket_id}: executed — node {ticket.node_id} "
+                f"replaced by {replacement.node_id}"
+            )
+            executed.append(ticket.node_id)
+        return executed
+
+    def _get(self, ticket_id: int) -> EvictionTicket:
+        for ticket in self.tickets:
+            if ticket.ticket_id == ticket_id:
+                return ticket
+        raise KeyError(f"no ticket #{ticket_id}")
+
+    def history_of(self, node_id: int) -> List[EvictionTicket]:
+        return [t for t in self.tickets if t.node_id == node_id]

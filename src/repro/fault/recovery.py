@@ -1,0 +1,85 @@
+"""Recovery accounting (§4.1, §6.3).
+
+Collects per-incident records and computes the paper's operational
+metrics: detection+diagnosis time (< 10 min), catch-up time (< 15 min),
+and the effective-training-time rate (> 90%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .faults import FaultEvent
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """Timeline of one fault-to-resume incident."""
+
+    fault: FaultEvent
+    detected_at: float
+    diagnosed_at: float
+    resumed_at: float
+    auto: bool  # handled without human intervention
+    lost_iterations: int  # progress rolled back to the last checkpoint
+
+    def __post_init__(self) -> None:
+        if not self.fault.time <= self.detected_at <= self.diagnosed_at <= self.resumed_at:
+            raise ValueError("recovery timeline must be monotone")
+
+    @property
+    def detection_time(self) -> float:
+        return self.detected_at - self.fault.time
+
+    @property
+    def diagnosis_time(self) -> float:
+        return self.diagnosed_at - self.detected_at
+
+    @property
+    def downtime(self) -> float:
+        return self.resumed_at - self.fault.time
+
+
+@dataclass
+class RecoveryLog:
+    """All incidents of one production run."""
+
+    records: List[RecoveryRecord] = field(default_factory=list)
+
+    def add(self, record: RecoveryRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def restarts(self) -> int:
+        return len(self.records)
+
+    def auto_fraction(self) -> float:
+        if not self.records:
+            return 1.0
+        return sum(1 for r in self.records if r.auto) / len(self.records)
+
+    def mean_detect_and_diagnose(self) -> float:
+        """Average detection + diagnosis time (paper: < 10 minutes)."""
+        if not self.records:
+            return 0.0
+        return sum(r.detected_at - r.fault.time + r.diagnosis_time for r in self.records) / len(
+            self.records
+        )
+
+    def mean_downtime(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.downtime for r in self.records) / len(self.records)
+
+    def total_downtime(self) -> float:
+        return sum(r.downtime for r in self.records)
+
+
+def effective_training_rate(
+    completed_iterations: int, iteration_time: float, wall_time: float
+) -> float:
+    """iterations x iteration time / total wall time (paper definition)."""
+    if wall_time <= 0 or iteration_time <= 0 or completed_iterations < 0:
+        raise ValueError("invalid effective-rate inputs")
+    return completed_iterations * iteration_time / wall_time

@@ -1,0 +1,114 @@
+"""Predefined fault scenarios (§5, §6.3 war stories).
+
+Each scenario wires a specific failure pattern into a small live cluster
+with the robust-training driver, runs the detection machinery, and
+reports what the framework concluded — executable versions of the
+paper's troubleshooting anecdotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..hardware.cluster import Cluster
+from ..sim import Simulator
+from .driver import RobustTrainingDriver
+from .faults import CUDA_ERROR, NCCL_HANG, NIC_DEGRADED, SLOW_HOST, FaultKind
+from .kubernetes import MockKubernetes
+
+
+@dataclass
+class ScenarioOutcome:
+    """What happened when the scenario ran."""
+
+    name: str
+    injected: Dict[int, str]  # node_id -> fault name
+    detected: Dict[int, str]  # node_id -> verdict value
+    evicted: List[int]
+    auto_recovered: bool
+    notes: str = ""
+
+
+@dataclass
+class Scenario:
+    """A named failure pattern to inject into a live driver."""
+
+    name: str
+    faults: List[FaultKind]  # one per victim executor, in order
+    detect_by: float = 180.0  # sim seconds to allow for detection
+    expect_auto: bool = True
+
+    def run(self, n_nodes: int = 4, n_spares: int = 4) -> ScenarioOutcome:
+        sim = Simulator()
+        cluster = Cluster.build(n_nodes=n_nodes, n_spares=n_spares)
+        driver = RobustTrainingDriver(
+            sim=sim, cluster=cluster, kubernetes=MockKubernetes(cluster=cluster)
+        )
+        driver.start()
+        sim.run(until=45.0)  # steady-state heartbeats first
+        driver.drain_heartbeats()
+
+        injected: Dict[int, str] = {}
+        for index, fault in enumerate(self.faults):
+            victim = driver.executors[index % len(driver.executors)]
+            victim.inject(fault)
+            injected[victim.node.node_id] = fault.name
+
+        sim.run(until=45.0 + self.detect_by)
+        anomalies = driver.check_anomalies()
+        detected = {a.node_id: a.verdict.value for a in anomalies}
+        auto = bool(anomalies) and all(
+            a.triggers_auto_recovery for a in anomalies if a.node_id in injected
+        )
+        evicted = driver.recover() if anomalies else []
+        return ScenarioOutcome(
+            name=self.name,
+            injected=injected,
+            detected=detected,
+            evicted=evicted,
+            auto_recovered=auto,
+        )
+
+
+def crash_scenario() -> Scenario:
+    """A training process dies with a CUDA error: caught by log keywords."""
+    return Scenario(name="cuda-crash", faults=[CUDA_ERROR])
+
+
+def hang_scenario() -> Scenario:
+    """A GPU blocks in NCCL: heartbeats continue, traffic ceases."""
+    return Scenario(name="nccl-hang", faults=[NCCL_HANG])
+
+
+def gray_failure_scenario() -> Scenario:
+    """A silently degraded NIC: no automatic verdict — needs the heat map.
+
+    The driver's heartbeat rules see nothing (traffic only mildly down on
+    one rail), reproducing why §5 needed deeper tooling.
+    """
+    return Scenario(name="gray-nic", faults=[NIC_DEGRADED], expect_auto=False)
+
+
+def straggler_scenario() -> Scenario:
+    """A 10%-slow host: invisible to heartbeats, visible to diagnostics."""
+    return Scenario(name="slow-host", faults=[SLOW_HOST], expect_auto=False)
+
+
+def multi_fault_scenario() -> Scenario:
+    """Two simultaneous failures on different nodes."""
+    return Scenario(name="double-fault", faults=[CUDA_ERROR, NCCL_HANG])
+
+
+ALL_SCENARIOS: List[Callable[[], Scenario]] = [
+    crash_scenario,
+    hang_scenario,
+    gray_failure_scenario,
+    straggler_scenario,
+    multi_fault_scenario,
+]
+
+
+def run_all(n_nodes: int = 4, n_spares: int = 6) -> List[ScenarioOutcome]:
+    """Execute every scenario on a fresh cluster each."""
+    return [factory().run(n_nodes=n_nodes, n_spares=n_spares) for factory in ALL_SCENARIOS]

@@ -1,0 +1,127 @@
+"""Max-min fair bandwidth allocation (fluid flow model).
+
+Collectives and checkpoint traffic are modelled as sets of flows, each
+traversing a list of links.  The classic water-filling algorithm assigns
+each flow its max-min fair rate; the collective layer then derives
+transfer times from the bottleneck rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .link import Link
+
+
+@dataclass
+class Flow:
+    """A unidirectional traffic demand across a fixed link path."""
+
+    flow_id: int
+    path: List[Link]
+    demand: float = float("inf")  # bytes/s the source could push
+    rate: float = 0.0  # assigned by the allocator
+
+    def __post_init__(self) -> None:
+        if self.demand <= 0:
+            raise ValueError("flow demand must be positive")
+
+
+def max_min_fair_rates(flows: Sequence[Flow]) -> Dict[int, float]:
+    """Water-filling: repeatedly saturate the most-constrained link.
+
+    Returns ``flow_id -> rate`` and also stores the rate on each flow.
+    Flows with empty paths (same-node traffic) get their full demand.
+    """
+    remaining = {f.flow_id: f for f in flows if f.path}
+    for f in flows:
+        if not f.path:
+            f.rate = f.demand if f.demand != float("inf") else 0.0
+
+    capacity: Dict[Link, float] = {}
+    users: Dict[Link, List[Flow]] = {}
+    for f in remaining.values():
+        for link in f.path:
+            if not link.up:
+                raise RuntimeError(f"flow {f.flow_id} routed over down link {link.name}")
+            capacity.setdefault(link, link.bandwidth)
+            users.setdefault(link, []).append(f)
+
+    allocated: Dict[int, float] = {}
+    active = set(remaining)
+    while active:
+        # Fair share each link could still give its active users.
+        bottleneck_share: Optional[float] = None
+        for link, flows_on_link in users.items():
+            live = [f for f in flows_on_link if f.flow_id in active]
+            if not live:
+                continue
+            share = capacity[link] / len(live)
+            if bottleneck_share is None or share < bottleneck_share:
+                bottleneck_share = share
+        if bottleneck_share is None:
+            break
+        # Demand-limited flows below the share finish first.
+        demand_limited = [
+            f for f in remaining.values()
+            if f.flow_id in active and f.demand <= bottleneck_share
+        ]
+        batch = demand_limited or [
+            f
+            for f in remaining.values()
+            if f.flow_id in active and _is_bottlenecked(f, users, capacity, active, bottleneck_share)
+        ]
+        if not batch:  # numerical fallback: finish everything at the share
+            batch = [remaining[fid] for fid in active]
+        for f in batch:
+            rate = min(f.demand, bottleneck_share)
+            allocated[f.flow_id] = rate
+            f.rate = rate
+            active.discard(f.flow_id)
+            for link in f.path:
+                capacity[link] = max(0.0, capacity[link] - rate)
+    return allocated
+
+
+def _is_bottlenecked(
+    flow: Flow,
+    users: Dict[Link, List[Flow]],
+    capacity: Dict[Link, float],
+    active: set,
+    share: float,
+) -> bool:
+    for link in flow.path:
+        live = sum(1 for f in users[link] if f.flow_id in active)
+        if live and abs(capacity[link] / live - share) < 1e-9 * max(1.0, share):
+            return True
+    return False
+
+
+def transfer_time(size: float, flow: Flow) -> float:
+    """Seconds to move ``size`` bytes at the flow's allocated rate."""
+    if size < 0:
+        raise ValueError("negative transfer size")
+    if size == 0:
+        return 0.0
+    if flow.rate <= 0:
+        raise RuntimeError(f"flow {flow.flow_id} has no allocated rate")
+    latency = sum(l.latency for l in flow.path)
+    return size / flow.rate + latency
+
+
+@dataclass
+class TrafficMatrix:
+    """A named batch of flows evaluated together (one comm phase)."""
+
+    flows: List[Flow] = field(default_factory=list)
+
+    def add(self, flow: Flow) -> None:
+        self.flows.append(flow)
+
+    def allocate(self) -> Dict[int, float]:
+        return max_min_fair_rates(self.flows)
+
+    def bottleneck_rate(self) -> float:
+        rates = [f.rate for f in self.flows if f.path]
+        return min(rates) if rates else float("inf")

@@ -1,0 +1,70 @@
+"""Directed network links with capacity, latency and up/down state."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(eq=False)  # identity equality/hash: links are used as dict keys
+class Link:
+    """A unidirectional link between two devices in the fabric."""
+
+    src: str
+    dst: str
+    bandwidth: float  # bytes/s
+    latency: float = 1e-6  # propagation + switching, seconds
+    up: bool = True
+    # Accumulated statistics (fluid model bookkeeping).
+    bytes_carried: float = 0.0
+    flows_assigned: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"link {self.name} must have positive bandwidth")
+        if self.latency < 0:
+            raise ValueError(f"link {self.name} has negative latency")
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.src, self.dst)
+
+    def carry(self, nbytes: float) -> None:
+        if nbytes < 0:
+            raise ValueError("cannot carry negative bytes")
+        self.bytes_carried += nbytes
+
+    def set_state(self, up: bool) -> None:
+        self.up = up
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.bandwidth / 125e6:.0f}Gbps {state}>"
+
+
+@dataclass
+class DuplexLink:
+    """A bidirectional connection modelled as two independent links."""
+
+    forward: Link
+    reverse: Link = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.reverse = Link(
+            src=self.forward.dst,
+            dst=self.forward.src,
+            bandwidth=self.forward.bandwidth,
+            latency=self.forward.latency,
+        )
+
+    def set_state(self, up: bool) -> None:
+        self.forward.set_state(up)
+        self.reverse.set_state(up)
+
+    @property
+    def up(self) -> bool:
+        return self.forward.up and self.reverse.up

@@ -1,0 +1,53 @@
+"""Priority Flow Control (PFC) with XOFF/XON hysteresis (§3.6).
+
+When an ingress queue crosses the XOFF watermark the switch pauses the
+upstream sender; it resumes below XON.  Excessive PFC causes head-of-line
+blocking: *every* flow through the paused port stops, including innocent
+victims — the mechanism behind the paper's congestion-control work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class PfcState:
+    """Pause state machine for one ingress queue."""
+
+    xoff_threshold: float  # bytes
+    xon_threshold: float  # bytes
+    paused: bool = False
+    pause_intervals: List[Tuple[float, float]] = field(default_factory=list)
+    _pause_started: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.xon_threshold >= self.xoff_threshold:
+            raise ValueError("XON watermark must be below XOFF")
+        if self.xon_threshold < 0:
+            raise ValueError("watermarks must be non-negative")
+
+    def update(self, queue_bytes: float, now: float) -> bool:
+        """Advance the state machine; returns current paused state."""
+        if not self.paused and queue_bytes > self.xoff_threshold:
+            self.paused = True
+            self._pause_started = now
+        elif self.paused and queue_bytes < self.xon_threshold:
+            self.paused = False
+            self.pause_intervals.append((self._pause_started, now))
+        return self.paused
+
+    def finish(self, now: float) -> None:
+        """Close an open pause interval at the end of a simulation."""
+        if self.paused:
+            self.pause_intervals.append((self._pause_started, now))
+            self.paused = False
+
+    def total_pause_time(self) -> float:
+        return sum(end - start for start, end in self.pause_intervals)
+
+    def pause_fraction(self, duration: float) -> float:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_pause_time() / duration

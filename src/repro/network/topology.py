@@ -1,0 +1,181 @@
+"""Three-layer CLOS fabric (§3.6).
+
+The fabric mirrors the paper's datacenter network:
+
+* **Pods** of ``nodes_per_pod`` GPU servers.  Each server has 8 NICs
+  attached *multi-rail*: NIC ``r`` of every server in a pod connects to
+  the pod's rail-``r`` ToR switch.  With split 400G->2x200G downlink ports
+  a ToR serves 64 servers, matching "the number of GPU servers connected
+  by the same sets of ToR switches can reach 64".
+* **Aggregation** switches per pod; every ToR has parallel uplinks to each
+  aggregation switch (ECMP spreads flows across them).
+* **Spine** switches interconnect pods; every aggregation switch has
+  parallel uplinks to each spine.
+
+Rail-aligned traffic (GPU ``i`` talks to GPU ``i`` elsewhere, as NCCL
+rings do) stays on one rail: two hops inside a pod, six hops across pods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .link import Link
+from .routing import ecmp_choice
+from .switch import Switch, SwitchRole, agg_role, spine_role, tor_role
+
+
+@dataclass
+class ClosFabric:
+    """A built fabric: devices, links, and path computation."""
+
+    n_nodes: int
+    nodes_per_pod: int = 64
+    rails: int = 8
+    aggs_per_pod: int = 8
+    n_spines: int = 8
+    tor_uplinks_per_agg: int = 4
+    agg_uplinks_per_spine: int = 4
+    split_tor_downlinks: bool = True
+    nic_rate: float = 0.0  # derived from the ToR role if 0
+
+    switches: Dict[str, Switch] = field(default_factory=dict)
+    links: Dict[Tuple[str, str], Link] = field(default_factory=dict)
+    # Parallel links between switch pairs for ECMP: (src, dst) -> [Link].
+    parallel_links: Dict[Tuple[str, str], List[Link]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("fabric needs at least one node")
+        if self.rails < 1 or self.nodes_per_pod < 1:
+            raise ValueError("rails and nodes_per_pod must be positive")
+        self._tor = tor_role(split_downlinks=self.split_tor_downlinks)
+        self._agg = agg_role()
+        self._spine = spine_role()
+        if self.nic_rate == 0.0:
+            self.nic_rate = self._tor.downlink_rate
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    @property
+    def n_pods(self) -> int:
+        return -(-self.n_nodes // self.nodes_per_pod)
+
+    def pod_of(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_pod
+
+    def tor_name(self, pod: int, rail: int) -> str:
+        return f"tor{pod}.{rail}"
+
+    def _build(self) -> None:
+        for pod in range(self.n_pods):
+            for rail in range(self.rails):
+                self._add_switch(self.tor_name(pod, rail), self._tor)
+            for a in range(self.aggs_per_pod):
+                self._add_switch(f"agg{pod}.{a}", self._agg)
+        for s in range(self.n_spines):
+            self._add_switch(f"spine{s}", self._spine)
+
+        for node in range(self.n_nodes):
+            pod = node // self.nodes_per_pod
+            for rail in range(self.rails):
+                tor = self.tor_name(pod, rail)
+                self._add_duplex(f"node{node}.nic{rail}", tor, self.nic_rate, 1e-6)
+
+        for pod in range(self.n_pods):
+            for rail in range(self.rails):
+                tor = self.tor_name(pod, rail)
+                for a in range(self.aggs_per_pod):
+                    agg = f"agg{pod}.{a}"
+                    for k in range(self.tor_uplinks_per_agg):
+                        self._add_parallel(tor, agg, k, self._tor.uplink_rate)
+            for a in range(self.aggs_per_pod):
+                agg = f"agg{pod}.{a}"
+                for s in range(self.n_spines):
+                    spine = f"spine{s}"
+                    for k in range(self.agg_uplinks_per_spine):
+                        self._add_parallel(agg, spine, k, self._agg.uplink_rate)
+
+    def _add_switch(self, name: str, role: SwitchRole) -> None:
+        self.switches[name] = Switch(role=role, name=name)
+
+    def _add_duplex(self, a: str, b: str, bandwidth: float, latency: float) -> None:
+        for src, dst in ((a, b), (b, a)):
+            link = Link(src=src, dst=dst, bandwidth=bandwidth, latency=latency)
+            self.links[link.key] = link
+            self.parallel_links.setdefault((src, dst), []).append(link)
+
+    def _add_parallel(self, a: str, b: str, index: int, bandwidth: float) -> None:
+        for src, dst in ((a, b), (b, a)):
+            link = Link(src=src, dst=dst, bandwidth=bandwidth, latency=1e-6)
+            # Keyed with the parallel index to keep links distinct.
+            self.links[(f"{src}#{index}", dst)] = link
+            self.parallel_links.setdefault((src, dst), []).append(link)
+
+    # -- queries ------------------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"node {node} outside fabric of {self.n_nodes}")
+
+    def same_tor(self, a: int, b: int) -> bool:
+        """Whether two nodes share their ToR switch set (same pod)."""
+        return self.pod_of(a) == self.pod_of(b)
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of links a rail-aligned packet crosses."""
+        if src == dst:
+            return 0
+        if self.same_tor(src, dst):
+            return 2  # nic -> tor -> nic
+        return 6  # nic -> tor -> agg -> spine -> agg -> tor -> nic
+
+    def _pick(self, src: str, dst: str, flow_id: int) -> Link:
+        candidates = [l for l in self.parallel_links[(src, dst)] if l.up]
+        if not candidates:
+            raise RuntimeError(f"no live link {src} -> {dst}")
+        return candidates[ecmp_choice(flow_id, src, dst, len(candidates))]
+
+    def path(self, src: int, dst: int, rail: int, flow_id: int = 0) -> List[Link]:
+        """ECMP-resolved link path for a rail-aligned flow."""
+        self._check_node(src)
+        self._check_node(dst)
+        if not 0 <= rail < self.rails:
+            raise ValueError(f"rail {rail} outside 0..{self.rails - 1}")
+        if src == dst:
+            return []
+        src_pod, dst_pod = self.pod_of(src), self.pod_of(dst)
+        src_nic = f"node{src}.nic{rail}"
+        dst_nic = f"node{dst}.nic{rail}"
+        src_tor = self.tor_name(src_pod, rail)
+        dst_tor = self.tor_name(dst_pod, rail)
+        if src_pod == dst_pod:
+            return [
+                self._pick(src_nic, src_tor, flow_id),
+                self._pick(src_tor, dst_nic, flow_id),
+            ]
+        agg_up = f"agg{src_pod}.{ecmp_choice(flow_id, src_tor, 'aggsel', self.aggs_per_pod)}"
+        spine = f"spine{ecmp_choice(flow_id, agg_up, 'spinesel', self.n_spines)}"
+        agg_down = f"agg{dst_pod}.{ecmp_choice(flow_id, spine, 'aggdown', self.aggs_per_pod)}"
+        return [
+            self._pick(src_nic, src_tor, flow_id),
+            self._pick(src_tor, agg_up, flow_id),
+            self._pick(agg_up, spine, flow_id),
+            self._pick(spine, agg_down, flow_id),
+            self._pick(agg_down, dst_tor, flow_id),
+            self._pick(dst_tor, dst_nic, flow_id),
+        ]
+
+    def path_latency(self, path: List[Link]) -> float:
+        return sum(l.latency for l in path)
+
+    def bisection_bandwidth(self) -> float:
+        """Aggregate spine-layer bandwidth (upper bound on cross-pod traffic)."""
+        total = 0.0
+        for (src, dst), links in self.parallel_links.items():
+            if src.startswith("agg") and dst.startswith("spine"):
+                total += sum(l.bandwidth for l in links)
+        return total

@@ -1,0 +1,84 @@
+"""Retransmission-timeout policy (§3.6 "Retransmit timeout setting").
+
+Models NCCL/NIC recovery behaviour across a link flap:
+
+* a transfer in flight when the link drops is retried on a timer;
+* if the configured retries are exhausted before the link returns, NCCL
+  surfaces a completion error and the whole training job must go through
+  fault recovery (minutes) instead of transparently resuming (seconds);
+* the NIC ``adap_retrans`` feature retries on a much shorter interval,
+  recovering quickly from sub-second flaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CommunicationError(RuntimeError):
+    """NCCL gave up: retries exhausted while the link was still down."""
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Retry timer configuration for RDMA transports."""
+
+    timeout: float  # seconds before the first retry
+    retries: int  # number of retransmission attempts
+    adaptive: bool = False  # NIC adap_retrans: short fixed retry interval
+    adaptive_interval: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.retries < 1:
+            raise ValueError("need at least one retry")
+        if self.adaptive_interval <= 0:
+            raise ValueError("adaptive_interval must be positive")
+
+    def retry_times(self) -> list:
+        """Offsets (from the drop) at which retransmissions fire."""
+        if self.adaptive:
+            return [self.adaptive_interval * (i + 1) for i in range(self.retries)]
+        # Standard exponential backoff capped at 8x.
+        times = []
+        offset = 0.0
+        for i in range(self.retries):
+            offset += self.timeout * min(2**i, 8)
+            times.append(offset)
+        return times
+
+    @property
+    def give_up_after(self) -> float:
+        """Seconds after the drop at which NCCL errors out."""
+        return self.retry_times()[-1]
+
+    def recovery_time(self, flap_duration: float) -> float:
+        """Seconds from link drop to successful retransmission.
+
+        Raises :class:`CommunicationError` when every retry lands inside
+        the flap window — the paper's "NCCL timeout very quickly and
+        return a completion error before the network card up again".
+        """
+        if flap_duration < 0:
+            raise ValueError("flap_duration must be non-negative")
+        for offset in self.retry_times():
+            if offset >= flap_duration:
+                return offset
+        raise CommunicationError(
+            f"retries exhausted after {self.give_up_after:.2f}s "
+            f"but link was down for {flap_duration:.2f}s"
+        )
+
+    def survives(self, flap_duration: float) -> bool:
+        try:
+            self.recovery_time(flap_duration)
+            return True
+        except CommunicationError:
+            return False
+
+
+# Configurations discussed in the paper.
+DEFAULT_NCCL = RetransmitPolicy(timeout=0.3, retries=3)  # default: dies on multi-second flaps
+TUNED_NCCL = RetransmitPolicy(timeout=5.0, retries=5)  # explicit larger threshold
+ADAPTIVE_NIC = RetransmitPolicy(timeout=5.0, retries=8, adaptive=True)  # + adap_retrans

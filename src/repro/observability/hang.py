@@ -1,0 +1,92 @@
+"""Hang localization from last-operation logs (§5.2).
+
+When a defective GPU blocks inside an NCCL call, every dependent rank
+eventually times out.  MegaScale has each worker log its *ongoing
+operation* upon communication timeout; the hung workers are the ones
+that log nothing.  Combined with the 3D dependency structure, the faulty
+nodes fall out directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..parallel.plan import ParallelPlan
+from .viz3d import DependencyGraph
+
+
+@dataclass(frozen=True)
+class HangDiagnosis:
+    """Outcome of analysing a cluster-wide communication stall."""
+
+    hung_ranks: Set[int]
+    hung_nodes: Set[int]
+    waiting_ranks: Dict[int, str]  # rank -> operation it logged
+    consistent: bool  # do the waiters' logs point at the hung ranks?
+
+
+def localize_hang(
+    plan: ParallelPlan,
+    timeout_logs: Dict[int, Optional[str]],
+    gpus_per_node: int = 8,
+) -> HangDiagnosis:
+    """Identify hung workers from timeout logs.
+
+    ``timeout_logs`` maps every rank to the operation string it logged on
+    timeout, or ``None`` if it logged nothing (the hang signature).
+    """
+    missing = set(timeout_logs) - set(range(plan.world_size))
+    if missing:
+        raise ValueError(f"logs reference ranks outside the world: {sorted(missing)}")
+    hung = {rank for rank, op in timeout_logs.items() if op is None}
+    waiting = {rank: op for rank, op in timeout_logs.items() if op is not None}
+
+    # Cross-check: at least one waiter should be blocked on each hung rank
+    # through the dependency structure.
+    graph = DependencyGraph(plan)
+    consistent = True
+    for rank in hung:
+        blockers_seen = False
+        for waiter, op in waiting.items():
+            try:
+                peers = graph.blocking_peers(waiter, op)
+            except ValueError:
+                continue
+            if rank in peers:
+                blockers_seen = True
+                break
+        if not blockers_seen and waiting:
+            consistent = False
+    return HangDiagnosis(
+        hung_ranks=hung,
+        hung_nodes={r // gpus_per_node for r in hung},
+        waiting_ranks=waiting,
+        consistent=consistent,
+    )
+
+
+def simulate_timeout_logs(
+    plan: ParallelPlan, faulty_ranks: List[int]
+) -> Dict[int, Optional[str]]:
+    """What each rank would log when ``faulty_ranks`` hang in NCCL.
+
+    Faulty ranks log nothing; their TP peers time out inside the tensor
+    collective; everyone else stalls on the pipeline recv (the cascade
+    the paper describes).
+    """
+    faulty = set(faulty_ranks)
+    for r in faulty:
+        plan.coords(r)  # validates range
+    logs: Dict[int, Optional[str]] = {}
+    tp_blocked: Set[int] = set()
+    for rank in faulty:
+        tp_blocked.update(plan.tp_group(rank))
+    for rank in range(plan.world_size):
+        if rank in faulty:
+            logs[rank] = None
+        elif rank in tp_blocked:
+            logs[rank] = "tp.all_gather"
+        else:
+            logs[rank] = "pp.recv(activations)"
+    return logs

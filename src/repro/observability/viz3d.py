@@ -1,0 +1,102 @@
+"""3D parallel training visualization (§5.2, Figure 7 inset).
+
+Shows a selected GPU worker's position in the (pipeline, data, tensor)
+logical topology, the direction of data flow, and the communication
+operations it participates in — the tool the paper uses to pinpoint
+faulty nodes when a hang buries the root cause under timeout noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..parallel.plan import ParallelPlan
+
+
+@dataclass(frozen=True)
+class RankView:
+    """Everything the visualization shows for one selected worker."""
+
+    rank: int
+    pp_rank: int
+    dp_rank: int
+    tp_rank: int
+    tp_peers: Tuple[int, ...]
+    dp_peers: Tuple[int, ...]
+    pp_prev: int
+    pp_next: int
+    operations: Tuple[str, ...]
+    error: Optional[str] = None
+
+
+def rank_view(plan: ParallelPlan, rank: int, error: Optional[str] = None) -> RankView:
+    """Build the Figure 7 inset for one worker."""
+    pp_rank, dp_rank, tp_rank = plan.coords(rank)
+    ops = []
+    if plan.tp > 1:
+        ops.extend(["tp.all_gather", "tp.reduce_scatter"])
+    if plan.dp > 1:
+        ops.extend(["dp.all_gather(params)", "dp.reduce_scatter(grads)"])
+    if plan.pp > 1:
+        ops.extend(["pp.send(activations)", "pp.recv(activations)"])
+    return RankView(
+        rank=rank,
+        pp_rank=pp_rank,
+        dp_rank=dp_rank,
+        tp_rank=tp_rank,
+        tp_peers=tuple(r for r in plan.tp_group(rank) if r != rank),
+        dp_peers=tuple(r for r in plan.dp_group(rank) if r != rank),
+        pp_prev=plan.prev_pp_rank(rank),
+        pp_next=plan.next_pp_rank(rank),
+        operations=tuple(ops),
+        error=error,
+    )
+
+
+def render(view: RankView) -> str:
+    """Text rendering of the selected worker's neighbourhood."""
+    lines = [
+        f"rank {view.rank}  (pp={view.pp_rank}, dp={view.dp_rank}, tp={view.tp_rank})",
+        f"  pipeline: {view.pp_prev} -> [{view.rank}] -> {view.pp_next}",
+        f"  tp group: {list(view.tp_peers)}",
+        f"  dp group: {list(view.dp_peers)}",
+        f"  ops: {', '.join(view.operations)}",
+    ]
+    if view.error:
+        lines.append(f"  ERROR: {view.error}")
+    return "\n".join(lines)
+
+
+@dataclass
+class DependencyGraph:
+    """Which ranks each rank is blocked on, per communication dimension."""
+
+    plan: ParallelPlan
+
+    def blocking_peers(self, rank: int, operation: str) -> List[int]:
+        """Ranks whose progress gates ``rank`` in the given operation."""
+        if operation.startswith("tp."):
+            return [r for r in self.plan.tp_group(rank) if r != rank]
+        if operation.startswith("dp."):
+            return [r for r in self.plan.dp_group(rank) if r != rank]
+        if operation == "pp.recv(activations)":
+            return [self.plan.prev_pp_rank(rank)]
+        if operation == "pp.send(activations)":
+            return [self.plan.next_pp_rank(rank)]
+        raise ValueError(f"unknown operation {operation!r}")
+
+    def affected_by(self, faulty_rank: int) -> Dict[str, List[int]]:
+        """Ranks that stall when ``faulty_rank`` hangs, by dimension.
+
+        A hang in NCCL cascades: first the immediate groups stall, then
+        (through the pipeline) everyone — this returns the first wave.
+        """
+        plan = self.plan
+        return {
+            "tensor": [r for r in plan.tp_group(faulty_rank) if r != faulty_rank],
+            "data": [r for r in plan.dp_group(faulty_rank) if r != faulty_rank],
+            "pipeline": sorted(
+                {plan.prev_pp_rank(faulty_rank), plan.next_pp_rank(faulty_rank)} - {faulty_rank}
+            ),
+        }

@@ -1,0 +1,33 @@
+"""Optimizers and convergence microbenchmarks (real numpy training)."""
+
+from .adam import Adam
+from .convergence import (
+    Batcher,
+    TrainingCurve,
+    curves_match,
+    improvement,
+    make_markov_corpus,
+    train_lm,
+)
+from .distributed import Zero2Trainer, max_param_divergence, train_single
+from .lamb import Lamb
+from .tinylm import LmConfig, TinyTransformerLM, causal_mask, gelu, layer_norm
+
+__all__ = [
+    "Adam",
+    "Batcher",
+    "Lamb",
+    "LmConfig",
+    "TinyTransformerLM",
+    "TrainingCurve",
+    "Zero2Trainer",
+    "max_param_divergence",
+    "train_single",
+    "causal_mask",
+    "curves_match",
+    "gelu",
+    "improvement",
+    "layer_norm",
+    "make_markov_corpus",
+    "train_lm",
+]

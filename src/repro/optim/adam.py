@@ -1,0 +1,46 @@
+"""ADAM optimizer (numpy), the convergence baseline of Figure 10b."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+class Adam:
+    """Standard ADAM with bias correction."""
+
+    def __init__(
+        self,
+        params: Dict[str, np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ValueError("betas must be in [0, 1)")
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self.m = {k: np.zeros_like(v) for k, v in params.items()}
+        self.v = {k: np.zeros_like(v) for k, v in params.items()}
+
+    def step(self, params: Dict[str, np.ndarray], grads: Dict[str, np.ndarray]) -> None:
+        """Update ``params`` in place from ``grads``."""
+        self.t += 1
+        for name, p in params.items():
+            g = grads[name]
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            self.m[name] = self.beta1 * self.m[name] + (1 - self.beta1) * g
+            self.v[name] = self.beta2 * self.v[name] + (1 - self.beta2) * g * g
+            mhat = self.m[name] / (1 - self.beta1**self.t)
+            vhat = self.v[name] / (1 - self.beta2**self.t)
+            p -= self.lr * mhat / (np.sqrt(vhat) + self.eps)

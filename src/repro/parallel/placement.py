@@ -1,0 +1,89 @@
+"""Topology-aware rank placement.
+
+Maps global ranks onto cluster nodes.  The invariants the paper relies on:
+
+* each TP group lives entirely inside one 8-GPU node (NVLink-only TP
+  traffic);
+* DP groups span *nearby* nodes (the dp-before-pp rank order plus packed
+  placement keeps DP rings short);
+* optionally, communication-heavy node sets are scheduled under the same
+  ToR switch set (§3.6 "strategically schedule the data-intensive nodes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..hardware.cluster import Cluster
+from .plan import ParallelPlan
+
+
+@dataclass
+class Placement:
+    """An assignment of global ranks to (node, local GPU) slots."""
+
+    plan: ParallelPlan
+    rank_to_node: Dict[int, int]  # global rank -> node_id
+    node_to_ranks: Dict[int, List[int]]
+
+    def node_of(self, rank: int) -> int:
+        return self.rank_to_node[rank]
+
+    def ranks_on(self, node_id: int) -> List[int]:
+        return self.node_to_ranks.get(node_id, [])
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        return self.rank_to_node[rank_a] == self.rank_to_node[rank_b]
+
+    def tp_groups_intra_node(self) -> bool:
+        """True when every TP group is contained in a single node."""
+        for group in self.plan.all_tp_groups():
+            nodes = {self.rank_to_node[r] for r in group}
+            if len(nodes) != 1:
+                return False
+        return True
+
+    def dp_group_node_span(self) -> int:
+        """Max number of distinct nodes any DP group touches."""
+        span = 0
+        for group in self.plan.all_dp_groups():
+            span = max(span, len({self.rank_to_node[r] for r in group}))
+        return span
+
+
+def packed_placement(plan: ParallelPlan, cluster: Cluster) -> Placement:
+    """Pack consecutive ranks onto consecutive nodes, 8 (or n) per node.
+
+    With the plan's tp-fastest rank order and tp == gpus_per_node this
+    puts each TP group on one node automatically.
+    """
+    gpus_per_node = cluster.nodes[0].n_gpus
+    needed_nodes = -(-plan.world_size // gpus_per_node)
+    if needed_nodes > len(cluster.nodes):
+        raise ValueError(
+            f"plan needs {needed_nodes} nodes but cluster has {len(cluster.nodes)}"
+        )
+    rank_to_node: Dict[int, int] = {}
+    node_to_ranks: Dict[int, List[int]] = {}
+    for rank in range(plan.world_size):
+        node = cluster.nodes[rank // gpus_per_node]
+        rank_to_node[rank] = node.node_id
+        node_to_ranks.setdefault(node.node_id, []).append(rank)
+    return Placement(plan, rank_to_node, node_to_ranks)
+
+
+def validate_placement(placement: Placement, gpus_per_node: int) -> List[str]:
+    """Return a list of placement-quality warnings (empty == clean)."""
+    warnings: List[str] = []
+    plan = placement.plan
+    if plan.tp > gpus_per_node:
+        warnings.append(
+            f"tp={plan.tp} exceeds {gpus_per_node} GPUs/node: TP traffic crosses nodes"
+        )
+    elif not placement.tp_groups_intra_node():
+        warnings.append("some TP groups span multiple nodes")
+    for node_id, ranks in placement.node_to_ranks.items():
+        if len(ranks) > gpus_per_node:
+            warnings.append(f"node {node_id} oversubscribed with {len(ranks)} ranks")
+    return warnings

@@ -1,0 +1,136 @@
+"""Parallelism auto-tuner: pick (tp, pp, vpp, micro-batch) for a job.
+
+The paper fixes its 3D configurations by expert choice (Table 1).  This
+tuner automates that choice: enumerate feasible plans (memory check,
+divisibility constraints, TP confined to one node), price each with the
+iteration engine, and rank by MFU.  Useful both as a library feature and
+as an ablation harness for "what if we had chosen differently".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..core.features import MEGASCALE_ISO_BATCH, FeatureSet
+from ..hardware.gpu import AMPERE, GpuSpec
+from ..model.memory import fits
+from ..model.transformer import ModelSpec
+from .plan import ParallelPlan
+
+
+@dataclass(frozen=True)
+class TunedPlan:
+    """One evaluated candidate."""
+
+    plan: ParallelPlan
+    mfu: float
+    iteration_time: float
+
+    def describe(self) -> str:
+        return f"{self.plan.describe()}  ->  MFU {self.mfu:.1%}, iter {self.iteration_time:.2f}s"
+
+
+def candidate_plans(
+    model: ModelSpec,
+    n_gpus: int,
+    gpus_per_node: int = 8,
+    max_micro_batch: int = 2,
+) -> Iterator[ParallelPlan]:
+    """All structurally valid plans for (model, n_gpus).
+
+    Constraints enforced:
+    * tp divides the per-node GPU count (TP stays on NVLink);
+    * pp divides the layer count; vpp chunks divide layers/pp;
+    * dp = n_gpus / (tp * pp) is a positive integer.
+    """
+    if n_gpus < 1:
+        raise ValueError("n_gpus must be >= 1")
+    tps = [t for t in (1, 2, 4, 8) if t <= gpus_per_node and gpus_per_node % t == 0]
+    for tp in tps:
+        if n_gpus % tp != 0:
+            continue
+        for pp in range(1, min(model.n_layers, n_gpus // tp) + 1):
+            if model.n_layers % pp != 0 or n_gpus % (tp * pp) != 0:
+                continue
+            layers_per_stage = model.n_layers // pp
+            if pp == 1:
+                vpps = [1]  # interleaving is meaningless without a pipeline
+            else:
+                vpps = [v for v in (1, 2, 3, 4, 6) if layers_per_stage % v == 0]
+            for vpp in vpps:
+                for micro_batch in range(1, max_micro_batch + 1):
+                    yield ParallelPlan(
+                        dp=n_gpus // (tp * pp),
+                        tp=tp,
+                        pp=pp,
+                        vpp=vpp,
+                        micro_batch=micro_batch,
+                    )
+
+
+def feasible(model: ModelSpec, plan: ParallelPlan, gpu: GpuSpec, global_batch: int) -> bool:
+    """Memory + batch-divisibility feasibility."""
+    try:
+        m = plan.n_microbatches(global_batch)
+    except ValueError:
+        return False
+    if plan.vpp > 1 and m % plan.pp != 0:
+        return False  # interleaving constraint
+    return fits(
+        model,
+        gpu,
+        tp=plan.tp,
+        pp=plan.pp,
+        dp=plan.dp,
+        micro_batch=plan.micro_batch,
+        vpp=plan.vpp,
+        zero_stage=plan.zero_stage,
+        recompute=plan.recompute,
+    )
+
+
+def tune(
+    model: ModelSpec,
+    n_gpus: int,
+    global_batch: int,
+    features: FeatureSet = MEGASCALE_ISO_BATCH,
+    gpu: GpuSpec = AMPERE,
+    top_k: int = 5,
+    max_candidates: Optional[int] = 64,
+    pp_limit: int = 64,
+) -> List[TunedPlan]:
+    """Evaluate feasible plans and return the ``top_k`` by MFU.
+
+    ``max_candidates`` caps engine evaluations (candidates are screened
+    cheapest-first by model-parallel size, which correlates with lower
+    communication); ``pp_limit`` bounds the pipeline depth searched.
+    """
+    from ..training.iteration import IterationEngine  # avoid import cycle
+
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    screened = [
+        plan
+        for plan in candidate_plans(model, n_gpus)
+        if plan.pp <= pp_limit and feasible(model, plan, gpu, global_batch)
+    ]
+    if not screened:
+        raise ValueError(
+            f"no feasible plan for {model.name} on {n_gpus} GPUs at batch {global_batch}"
+        )
+    # Prefer smaller model-parallel footprints (less communication), then
+    # deeper interleaving; evaluate at most max_candidates.
+    screened.sort(key=lambda p: (p.tp * p.pp, -p.vpp, p.micro_batch))
+    if max_candidates is not None:
+        screened = screened[:max_candidates]
+
+    results = []
+    for plan in screened:
+        engine = IterationEngine(model, plan, features, gpu=gpu)
+        outcome = engine.simulate(global_batch)
+        results.append(
+            TunedPlan(plan=plan, mfu=outcome.mfu, iteration_time=outcome.iteration_time)
+        )
+    results.sort(key=lambda t: -t.mfu)
+    return results[:top_k]

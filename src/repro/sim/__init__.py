@@ -1,0 +1,25 @@
+"""Discrete-event simulation kernel used by every MegaScale subsystem."""
+
+from .engine import Event, SimulationError, Simulator, Timeout
+from .process import AllOf, AnyOf, Interrupt, Process
+from .randomness import RandomStreams
+from .resources import Channel, Resource, Store
+from .trace import Counter, Span, TraceRecorder
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "Process",
+    "RandomStreams",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Span",
+    "Store",
+    "Timeout",
+    "TraceRecorder",
+]

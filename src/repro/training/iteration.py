@@ -1,0 +1,301 @@
+"""The training-iteration engine.
+
+Executes one optimizer step of a 3D-parallel job on the simulated
+substrate and returns its wall time with a full breakdown.  The pipeline
+is executed task-by-task against the real interleaved-1F1B dependency
+structure (bubbles, warm-up stalls and straggler effects *emerge*; they
+are not closed-form estimates); TP/SP and DP communication exposure come
+from the overlap models of :mod:`repro.training.overlap`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..collectives.groups import GroupCommModel, build_comm_model
+from ..core.features import FeatureSet
+from ..hardware.gpu import AMPERE, GpuSpec
+from ..model.blocks import activation_bytes, block_cost, embedding_cost, logits_block_cost
+from ..model.flops import iteration_model_flops
+from ..model.transformer import ModelSpec
+from ..parallel.pipeline import (
+    backward_dependency,
+    forward_dependency,
+    interleaved_schedule,
+)
+from ..parallel.plan import ParallelPlan
+from ..parallel.zero import dp_comm_events, optimizer_step_time
+from .datapipe import data_pipeline_cost, overlap_window
+from .overlap import dp_exposed_time, pp_policy, tp_exposed_per_layer
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """One simulated optimizer step."""
+
+    iteration_time: float
+    pipeline_time: float  # makespan of the pipelined fwd/bwd phase
+    compute_time: float  # per-stage serial compute (no stalls), max stage
+    data_stall: float
+    dp_exposed: float
+    dp_total_comm: float
+    optimizer_time: float
+    perturbation: float
+    mfu: float
+    tokens_per_second: float
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Fraction of the pipeline phase a stage spent stalled."""
+        if self.pipeline_time == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.compute_time / self.pipeline_time)
+
+
+class IterationEngine:
+    """Prices one iteration of (model, plan, features) on given hardware."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        plan: ParallelPlan,
+        features: FeatureSet,
+        gpu: GpuSpec = AMPERE,
+        comm_model: Optional[GroupCommModel] = None,
+        peak_flops: Optional[float] = None,
+    ) -> None:
+        self.base_model = model
+        self.plan = plan
+        self.features = features
+        self.gpu = gpu
+        self.peak_flops = peak_flops or gpu.peak_flops
+        self.comm = comm_model or build_comm_model(plan)
+        # Apply the algorithmic options to the executed model.  MFU is
+        # still computed against the full-attention reference model.
+        self.exec_model = model.with_options(
+            parallel_block=features.parallel_block,
+            attention_window=features.sliding_window,
+        )
+        self._build_task_times()
+
+    # -- static per-task costs ------------------------------------------------
+
+    def _build_task_times(self) -> None:
+        plan, features = self.plan, self.features
+        self.layers_per_chunk = plan.layers_per_chunk(self.base_model.n_layers)
+        cost = block_cost(
+            self.exec_model,
+            self.gpu,
+            tp=plan.tp,
+            micro_batch=plan.micro_batch,
+            flash_attention=features.flash_attention,
+            fused_kernels=features.fused_kernels,
+            sequence_parallel=plan.sequence_parallel,
+        )
+        exposure = tp_exposed_per_layer(cost, features)
+        self.f_chunk = self.layers_per_chunk * (cost.forward_compute + exposure.forward)
+        self.b_chunk = self.layers_per_chunk * (cost.backward_compute + exposure.backward)
+        if plan.recompute == "full":
+            # Full recomputation re-runs the layer forward inside backward.
+            self.b_chunk += self.layers_per_chunk * cost.forward_compute
+        self.embed_extra = embedding_cost(self.exec_model, self.gpu, plan.tp, plan.micro_batch)
+        logits = logits_block_cost(self.exec_model, self.gpu, plan.tp, plan.micro_batch)
+        self.logits_fwd, self.logits_bwd = logits.forward, logits.backward
+        self.p2p_time = self.comm.pp_p2p_time(
+            activation_bytes(self.exec_model, plan.micro_batch)
+        )
+        self.pp = pp_policy(features)
+
+    def check_memory(self):
+        """(fits, MemoryBreakdown) for this engine's configuration.
+
+        Advisory, not enforced: the engine will happily price an
+        infeasible config so what-if studies can quantify *how far* out
+        of memory a plan is.
+        """
+        from ..model.memory import fits as fits_fn, memory_breakdown
+
+        plan = self.plan
+        kwargs = dict(
+            tp=plan.tp,
+            pp=plan.pp,
+            dp=plan.dp,
+            micro_batch=plan.micro_batch,
+            vpp=plan.vpp,
+            zero_stage=plan.zero_stage,
+            recompute=plan.recompute,
+        )
+        return (
+            fits_fn(self.base_model, self.gpu, **kwargs),
+            memory_breakdown(self.base_model, **kwargs),
+        )
+
+    def task_time(self, stage: int, kind: str, chunk: int) -> float:
+        """Compute (+ exposed TP comm) seconds of one pipeline task."""
+        base = self.f_chunk if kind == "F" else self.b_chunk
+        if stage == 0 and chunk == 0 and kind == "F":
+            base += self.embed_extra
+        if stage == self.plan.pp - 1 and chunk == self.plan.vpp - 1:
+            base += self.logits_fwd if kind == "F" else self.logits_bwd
+        return base
+
+    # -- pipeline execution -----------------------------------------------------
+
+    def pipeline_makespan(
+        self,
+        m: int,
+        stage_speed: Optional[Sequence[float]] = None,
+        trace: Optional[object] = None,
+    ) -> Tuple[float, float]:
+        """(makespan, max per-stage serial compute) for ``m`` micro-batches.
+
+        Executes every stage's interleaved-1F1B task list against the
+        cross-stage activation/gradient dependencies.  ``stage_speed``
+        derates each stage's compute (straggler hosts).  Pass a
+        :class:`~repro.sim.TraceRecorder` as ``trace`` to record every
+        task as a span (rank = pipeline stage) for the Figure 8 timeline.
+        """
+        p, v = self.plan.pp, self.plan.vpp
+        speeds = list(stage_speed) if stage_speed is not None else [1.0] * p
+        if len(speeds) != p:
+            raise ValueError(f"need {p} stage speed factors, got {len(speeds)}")
+        if any(s <= 0 for s in speeds):
+            raise ValueError("stage speed factors must be positive")
+
+        schedules = [interleaved_schedule(p, v, m, s) for s in range(p)]
+        warmup_end = [next((i for i, t in enumerate(sch) if t.kind == "B"), len(sch)) for sch in schedules]
+        cooldown_start = [
+            max((i for i, t in enumerate(sch) if t.kind == "F"), default=-1) + 1
+            for sch in schedules
+        ]
+
+        done: Dict[Tuple[int, str, int, int], float] = {}
+        ptr = [0] * p
+        clock = [0.0] * p
+        busy = [0.0] * p
+        total_tasks = sum(len(s) for s in schedules)
+        completed = 0
+        while completed < total_tasks:
+            progressed = False
+            for s in range(p):
+                while ptr[s] < len(schedules[s]):
+                    task = schedules[s][ptr[s]]
+                    if task.kind == "F":
+                        dep = forward_dependency(p, v, s, task)
+                    else:
+                        dep = backward_dependency(p, v, s, task)
+                    ready = 0.0
+                    if dep is not None:
+                        dep_stage, dep_task = dep
+                        key = (dep_stage,) + dep_task.key
+                        if key not in done:
+                            break  # blocked on an upstream task
+                        ready = done[key] + self.p2p_time
+                    duration = self.task_time(s, task.kind, task.chunk) / speeds[s]
+                    index = ptr[s]
+                    if index < warmup_end[s]:
+                        phase = "warmup"
+                    elif index >= cooldown_start[s]:
+                        phase = "cooldown"
+                    else:
+                        phase = "steady"
+                    send_block = (
+                        self.pp.sender_block_time(self.p2p_time, phase)
+                        if self._task_sends(s, task.kind, task.chunk)
+                        else 0.0
+                    )
+                    start = max(clock[s], ready)
+                    end = start + duration
+                    done[(s,) + task.key] = end
+                    if trace is not None:
+                        trace.record(
+                            task.kind,
+                            rank=s,
+                            start=start,
+                            end=end,
+                            stream="compute",
+                            microbatch=task.microbatch,
+                            chunk=task.chunk,
+                        )
+                        if send_block:
+                            trace.record(
+                                "send",
+                                rank=s,
+                                start=end,
+                                end=end + send_block,
+                                stream="comm",
+                            )
+                    clock[s] = end + send_block
+                    busy[s] += duration + send_block
+                    ptr[s] += 1
+                    completed += 1
+                    progressed = True
+            if not progressed:
+                raise RuntimeError("pipeline deadlocked: invalid schedule/dependency")
+        return max(clock), max(busy)
+
+    def _task_sends(self, stage: int, kind: str, chunk: int) -> bool:
+        p, v = self.plan.pp, self.plan.vpp
+        if kind == "F":
+            return not (stage == p - 1 and chunk == v - 1)  # loss stays local
+        return not (stage == 0 and chunk == 0)  # grads of the first chunk stay
+
+    # -- full iteration ------------------------------------------------------------
+
+    def simulate(
+        self,
+        global_batch: int,
+        stage_speed: Optional[Sequence[float]] = None,
+        perturbation: float = 0.0,
+        speed_factor: float = 1.0,
+    ) -> IterationResult:
+        """One optimizer step at ``global_batch`` sequences.
+
+        ``speed_factor`` derates every stage uniformly (whole-job
+        straggler effect); ``stage_speed`` derates individual stages.
+        """
+        plan = self.plan
+        m = plan.n_microbatches(global_batch)
+        if not 0 < speed_factor <= 1:
+            raise ValueError("speed_factor must be in (0, 1]")
+        speeds = list(stage_speed) if stage_speed is not None else [1.0] * plan.pp
+        speeds = [s * speed_factor for s in speeds]
+        pipeline, busy = self.pipeline_makespan(m, speeds)
+
+        data = data_pipeline_cost(self.base_model, plan, global_batch, self.features)
+        window = overlap_window(data, self.features)
+
+        events = dp_comm_events(self.base_model, plan)
+        times = [
+            self.comm.dp_collective_time(e.kind, e.size) for e in events
+        ]
+        dp = dp_exposed_time(times, self.features, data_load_window=window)
+        # Hidden DP traffic still needs NIC-seconds, and the NIC is also
+        # carrying pipeline p2p transfers; if the pipeline phase is too
+        # short to absorb both, the excess surfaces on the critical path.
+        hidden = dp.total_comm - dp.exposed
+        pp_sends = 2 * m * plan.vpp  # one send per F and per B task
+        pp_nic_time = pp_sends * self.p2p_time if plan.pp > 1 else 0.0
+        nic_budget = max(0.0, pipeline - pp_nic_time)
+        spill = max(0.0, hidden - nic_budget)
+        dp_exposed = dp.exposed + spill
+
+        optimizer = optimizer_step_time(self.base_model, plan, self.gpu.memory_bandwidth)
+
+        total = data.exposed_stall + pipeline + dp_exposed + optimizer + perturbation
+        flops = iteration_model_flops(self.base_model, global_batch)
+        mfu = flops / total / (plan.world_size * self.peak_flops)
+        tokens = global_batch * self.base_model.seq_len / total
+        return IterationResult(
+            iteration_time=total,
+            pipeline_time=pipeline,
+            compute_time=busy,
+            data_stall=data.exposed_stall,
+            dp_exposed=dp_exposed,
+            dp_total_comm=dp.total_comm,
+            optimizer_time=optimizer,
+            perturbation=perturbation,
+            mfu=mfu,
+            tokens_per_second=tokens,
+        )

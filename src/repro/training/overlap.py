@@ -1,0 +1,130 @@
+"""Communication–computation overlap strategies (§3.2, Figures 3 & 4).
+
+Each of the three parallelism dimensions gets its own overlap mechanism;
+this module computes how much communication remains *exposed* (serialized
+with compute) under a given :class:`~repro.core.features.FeatureSet`.
+
+* **TP/SP** — all-gather / reduce-scatter fused with chunked GEMMs on the
+  FFN path (Figure 3c).  Hiding capacity is the FFN GEMM time; chunking
+  the GEMM costs a small efficiency premium on whatever is hidden.  The
+  parallel transformer block routes *all* block communication through the
+  fused FFN path; the serial block can only fuse the FFN-adjacent half.
+* **PP** — decoupled send/receive (Figure 4): with overlap on, a send
+  never blocks its stage; with overlap off, coupled send-recv pairs
+  expose a sync cost every task plus the full transfer during warm-up
+  and cool-down.
+* **DP** — per-chunk all-gather prefetch / reduce-scatter post-hoc: only
+  the *first* all-gather (overlapped with data loading) and the *last*
+  reduce-scatter remain on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.features import FeatureSet
+from ..model.blocks import BlockCost
+
+# Efficiency premium on communication hidden via GEMM chunking: the
+# chunked GEMM runs slightly below the monolithic kernel's efficiency
+# (Figure 3c pipelining granularity).
+TP_CHUNKING_PREMIUM = 0.10
+# Fraction of the FFN GEMM window usable for hiding (ramp-up/down of the
+# software pipeline).
+TP_HIDE_EFFICIENCY = 0.90
+# Without decoupled send/recv, each task pays this fraction of the p2p
+# time in coupled-launch synchronization even in the steady phase.
+PP_COUPLED_SYNC_FRACTION = 0.35
+
+
+@dataclass(frozen=True)
+class TpExposure:
+    """Exposed TP/SP communication per layer, by direction."""
+
+    forward: float
+    backward: float
+
+
+def tp_exposed_per_layer(cost: BlockCost, features: FeatureSet) -> TpExposure:
+    """Exposed TP/SP communication time of one layer."""
+    fwd_comm = cost.forward_tp_comm
+    bwd_comm = cost.backward_tp_comm
+    if not features.tp_overlap or fwd_comm == 0.0:
+        return TpExposure(fwd_comm, bwd_comm)
+
+    # Fraction of the block's comm routed through the fusable FFN path.
+    fusable = 1.0 if features.parallel_block else 0.5
+    fwd = _expose(fwd_comm, fusable, cost.forward_ffn_gemm)
+    bwd = _expose(bwd_comm, fusable, cost.backward_ffn_gemm)
+    return TpExposure(fwd, bwd)
+
+
+def _expose(comm: float, fusable_fraction: float, gemm_budget: float) -> float:
+    fusable = comm * fusable_fraction
+    unfusable = comm - fusable
+    hidden = min(fusable, gemm_budget * TP_HIDE_EFFICIENCY)
+    residual = fusable - hidden
+    return unfusable + residual + hidden * TP_CHUNKING_PREMIUM
+
+
+@dataclass(frozen=True)
+class PpPolicy:
+    """How pipeline point-to-point transfers interact with compute."""
+
+    decoupled: bool  # MegaScale's async send/recv
+
+    def sender_block_time(self, p2p_time: float, phase: str) -> float:
+        """Time the *sending* stage stalls for one transfer.
+
+        ``phase`` is "warmup", "steady" or "cooldown".  Decoupled sends
+        never stall.  Coupled send-recv stalls for the full transfer in
+        warm-up/cool-down (the send is chained behind the slower recv,
+        Figure 4 left) and for a sync fraction in steady state.
+        """
+        if self.decoupled:
+            return 0.0
+        if phase in ("warmup", "cooldown"):
+            return p2p_time
+        return p2p_time * PP_COUPLED_SYNC_FRACTION
+
+
+def pp_policy(features: FeatureSet) -> PpPolicy:
+    return PpPolicy(decoupled=features.pp_overlap)
+
+
+@dataclass(frozen=True)
+class DpExposure:
+    """DP communication landing on the critical path, with totals."""
+
+    exposed: float  # seconds serialized with the iteration
+    total_comm: float  # all DP collective seconds (hidden + exposed)
+
+
+def dp_exposed_time(
+    collective_times: List[float],
+    features: FeatureSet,
+    data_load_window: float,
+) -> DpExposure:
+    """Exposed time of the per-chunk ZeRO-2 collectives.
+
+    ``collective_times`` is ordered: all-gathers (per chunk, forward
+    order) followed by reduce-scatters (per chunk, backward order), as
+    produced by :func:`repro.parallel.zero.dp_comm_events`.
+
+    Without overlap every collective serializes (Megatron launches them
+    around the iteration).  With overlap, only the first all-gather
+    (minus the data-loading window it is prefetched under, per §3.2) and
+    the last reduce-scatter stay exposed.
+    """
+    total = sum(collective_times)
+    if total == 0.0:
+        return DpExposure(0.0, 0.0)
+    if not features.dp_overlap:
+        return DpExposure(total, total)
+    gathers = [t for t in collective_times[: len(collective_times) // 2]]
+    scatters = [t for t in collective_times[len(collective_times) // 2 :]]
+    first_ag = gathers[0] if gathers else 0.0
+    last_rs = scatters[-1] if scatters else 0.0
+    exposed = max(0.0, first_ag - data_load_window) + last_rs
+    return DpExposure(exposed, total)

@@ -1,0 +1,148 @@
+"""Multi-iteration training runs: MFU time series and run-to-run variance.
+
+Couples the iteration engine with the straggler lottery and software
+perturbations to reproduce the operational phenomena of §5 and §6.3:
+
+* Figure 6 — identical jobs land on different host draws, so per-run
+  MFU differs (and is depressed by whichever stragglers were drawn).
+* Figure 12 / "MFU decreasing" — with the problematic code paths in
+  place, MFU decays over a run; after cleaning + straggler eviction it
+  is flat and consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.features import FeatureSet
+from ..hardware.gpu import AMPERE, GpuSpec
+from ..model.transformer import ModelSpec
+from ..parallel.plan import ParallelPlan
+from .iteration import IterationEngine, IterationResult
+from .stragglers import PerturbationModel, StragglerModel
+
+
+@dataclass
+class RunResult:
+    """One multi-iteration training run."""
+
+    mfu_series: List[float] = field(default_factory=list)
+    iteration_times: List[float] = field(default_factory=list)
+    speed_factor: float = 1.0  # the straggler draw this run got
+
+    @property
+    def mean_mfu(self) -> float:
+        return float(np.mean(self.mfu_series)) if self.mfu_series else 0.0
+
+    @property
+    def peak_mfu(self) -> float:
+        return float(np.max(self.mfu_series)) if self.mfu_series else 0.0
+
+    def mfu_slope_per_100_steps(self) -> float:
+        """Linear trend of the MFU series (Figure 12's decline signal)."""
+        if len(self.mfu_series) < 2:
+            return 0.0
+        x = np.arange(len(self.mfu_series), dtype=float)
+        slope = np.polyfit(x, np.asarray(self.mfu_series), 1)[0]
+        return float(slope * 100)
+
+
+@dataclass
+class TrainingRunner:
+    """Runs iterations of one configuration with operational noise."""
+
+    model: ModelSpec
+    plan: ParallelPlan
+    features: FeatureSet
+    global_batch: int
+    gpu: GpuSpec = AMPERE
+    straggler_model: Optional[StragglerModel] = None
+    evict_stragglers: bool = False  # MegaScale's diagnostics + eviction
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._engine = IterationEngine(self.model, self.plan, self.features, self.gpu)
+
+    @property
+    def n_hosts(self) -> int:
+        return max(1, self.plan.world_size // 8)
+
+    def run(self, n_iterations: int, trial: int = 0, timer=None) -> RunResult:
+        """Execute ``n_iterations`` under one scheduling draw.
+
+        Pass a :class:`~repro.observability.CudaEventTimer` as ``timer``
+        to record per-stage forward/backward/optimizer/reduce-scatter
+        segments each step — the §5 analysis tools consume exactly this.
+        """
+        if n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        rng = np.random.default_rng(self.seed * 7919 + trial)
+        speed = 1.0
+        if self.straggler_model is not None:
+            model = StragglerModel(
+                fraction=self.straggler_model.fraction,
+                slowdown=self.straggler_model.slowdown,
+                rng=rng,
+            )
+            speed = model.job_speed_factor(self.n_hosts)
+            if self.evict_stragglers:
+                speed = 1.0  # diagnostics found and evicted the slow hosts
+        perturb = PerturbationModel(
+            features=self.features, n_hosts=self.n_hosts, rng=rng
+        )
+        result = RunResult(speed_factor=speed)
+        for step in range(n_iterations):
+            overhead = perturb.iteration_overhead(step)
+            iteration = self._engine.simulate(
+                self.global_batch, perturbation=overhead, speed_factor=speed
+            )
+            result.mfu_series.append(iteration.mfu)
+            result.iteration_times.append(iteration.iteration_time)
+            if timer is not None:
+                self._record_segments(timer, step, iteration, overhead, speed)
+        return result
+
+    def _record_segments(self, timer, step, iteration, overhead, speed) -> None:
+        """Per-stage CUDA-event records for one iteration.
+
+        The perturbation (GC / slow-op drift) lands on one DP rank's
+        forward path, staggering its reduce-scatter launch — the exact
+        signature of the paper's §6.3 investigation.
+        """
+        engine = self._engine
+        m = self.plan.n_microbatches(self.global_batch)
+        for stage in range(self.plan.pp):
+            fwd = engine.f_chunk * m * self.plan.vpp / speed
+            bwd = engine.b_chunk * m * self.plan.vpp / speed
+            skew = overhead if stage == 1 else 0.0
+            timer.record(stage, step, "forward", fwd + skew)
+            timer.record(stage, step, "backward", bwd)
+            timer.record(stage, step, "optimizer", iteration.optimizer_time)
+            timer.record(
+                stage,
+                step,
+                "reduce_scatter",
+                max(iteration.dp_exposed, 1e-4),
+                started_at=iteration.pipeline_time + skew,
+            )
+
+    def run_trials(self, n_trials: int, n_iterations: int) -> List[RunResult]:
+        """Independent scheduling draws of the same job (Figure 6)."""
+        if n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        return [self.run(n_iterations, trial=t) for t in range(n_trials)]
+
+    def simulate_once(self) -> IterationResult:
+        """A single clean iteration (no noise), for calibration checks."""
+        return self._engine.simulate(self.global_batch)
+
+
+def mfu_consistency(results: List[RunResult]) -> float:
+    """Spread of mean MFU across runs (max - min), Figure 6's headline."""
+    if not results:
+        raise ValueError("need at least one run")
+    means = [r.mean_mfu for r in results]
+    return max(means) - min(means)

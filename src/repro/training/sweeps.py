@@ -1,0 +1,121 @@
+"""Scaling-sweep utilities: the loops behind Table 2 and Figure 9.
+
+Structured helpers so examples, benchmarks and downstream users don't
+re-implement the sweep plumbing: strong scaling (fixed batch, growing
+GPUs), weak scaling (batch proportional to GPUs), and batch sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..core.config import TrainingJob
+from ..core.megascale import TrainingSystem, compare
+from ..core.report import Comparison
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One scale point of a sweep."""
+
+    n_gpus: int
+    global_batch: int
+    comparison: Comparison
+
+    @property
+    def speedup(self) -> float:
+        return self.comparison.speedup
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """An ordered collection of sweep points with summary queries."""
+
+    kind: str  # "strong" | "weak" | "batch"
+    points: List[SweepPoint]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("a sweep needs at least one point")
+
+    def mfu_series(self, system: str = "megascale") -> List[float]:
+        if system == "megascale":
+            return [p.comparison.megascale.mfu for p in self.points]
+        if system == "baseline":
+            return [p.comparison.baseline.mfu for p in self.points]
+        raise ValueError(f"unknown system {system!r}")
+
+    def speedups(self) -> List[float]:
+        return [p.speedup for p in self.points]
+
+    def megascale_always_wins(self) -> bool:
+        return all(p.speedup > 1.0 for p in self.points)
+
+    def mfu_drop(self, system: str = "megascale") -> float:
+        series = self.mfu_series(system)
+        return series[0] - series[-1]
+
+    def table(self) -> str:
+        lines = [f"{'GPUs':>7s} {'batch':>7s} {'baseline':>9s} {'megascale':>10s} {'speedup':>8s}"]
+        for p in self.points:
+            lines.append(
+                f"{p.n_gpus:>7d} {p.global_batch:>7d} "
+                f"{p.comparison.baseline.mfu:>8.1%} {p.comparison.megascale.mfu:>9.1%} "
+                f"{p.speedup:>7.2f}x"
+            )
+        return "\n".join(lines)
+
+
+def strong_scaling_sweep(
+    base_job: TrainingJob,
+    gpu_counts: Sequence[int],
+    compare_fn: Callable[[TrainingJob], Comparison] = compare,
+) -> SweepResult:
+    """Fixed global batch across growing GPU counts (Table 2's regime)."""
+    points = [
+        SweepPoint(n, base_job.global_batch, compare_fn(base_job.scaled_to(n)))
+        for n in gpu_counts
+    ]
+    return SweepResult(kind="strong", points=points)
+
+
+def weak_scaling_sweep(
+    base_job: TrainingJob,
+    gpu_counts: Sequence[int],
+    batch_per_gpu: Optional[float] = None,
+    compare_fn: Callable[[TrainingJob], Comparison] = compare,
+) -> SweepResult:
+    """Batch proportional to GPU count (Figure 9's regime)."""
+    ratio = (
+        batch_per_gpu
+        if batch_per_gpu is not None
+        else base_job.global_batch / base_job.n_gpus
+    )
+    points = []
+    for n in gpu_counts:
+        batch = max(1, round(n * ratio))
+        points.append(SweepPoint(n, batch, compare_fn(base_job.scaled_to(n, batch))))
+    return SweepResult(kind="weak", points=points)
+
+
+def batch_sweep(
+    base_job: TrainingJob,
+    batches: Sequence[int],
+    compare_fn: Callable[[TrainingJob], Comparison] = compare,
+) -> SweepResult:
+    """Fixed GPUs, varying global batch (the LAMB scaling axis)."""
+    points = [
+        SweepPoint(base_job.n_gpus, b, compare_fn(base_job.scaled_to(base_job.n_gpus, b)))
+        for b in batches
+    ]
+    return SweepResult(kind="batch", points=points)
+
+
+def single_system_sweep(
+    system: TrainingSystem,
+    base_job: TrainingJob,
+    gpu_counts: Sequence[int],
+) -> List[float]:
+    """MFU of one system across scales (no baseline run)."""
+    return [system.run(base_job.scaled_to(n)).mfu for n in gpu_counts]

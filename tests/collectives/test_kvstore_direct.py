@@ -1,0 +1,78 @@
+"""Direct tests for the KV-store models and hierarchical helpers."""
+
+import pytest
+
+from repro.collectives import REDIS_STORE, TCP_STORE, SimulatedKvServer, StoreModel
+from repro.sim import Process, Simulator
+
+
+def test_store_catalog_ordering():
+    # The blocking store's effective per-op cost must exceed the async
+    # store's — that ratio is the paper's 1047/361.
+    assert TCP_STORE.op_time > REDIS_STORE.op_time
+    assert TCP_STORE.blocking and not REDIS_STORE.blocking
+    ratio = TCP_STORE.op_time / REDIS_STORE.op_time
+    assert ratio == pytest.approx(1047 / 361, rel=0.05)
+
+
+def test_barrier_time_linear_in_ranks():
+    t1 = REDIS_STORE.barrier_time(1000)
+    t2 = REDIS_STORE.barrier_time(2000)
+    assert t2 == pytest.approx(2 * t1)
+
+
+def test_rendezvous_time_scales_with_group():
+    small = TCP_STORE.rendezvous_time(8)
+    large = TCP_STORE.rendezvous_time(64)
+    assert large == pytest.approx(8 * small)
+    custom = TCP_STORE.rendezvous_time(8, ops_per_member=2)
+    assert custom == pytest.approx(small / 2)
+
+
+def test_store_model_validation():
+    with pytest.raises(ValueError):
+        TCP_STORE.barrier_time(0)
+    with pytest.raises(ValueError):
+        REDIS_STORE.rendezvous_time(0)
+
+
+def test_simulated_server_blocking_serializes():
+    sim = Simulator()
+    server = SimulatedKvServer(sim, op_time=0.01, blocking=True)
+    finish = {}
+
+    def client(name):
+        yield server.request()
+        finish[name] = sim.now
+
+    for i in range(4):
+        Process(sim, client(i))
+    sim.run()
+    # Strictly serialized: 0.01, 0.02, 0.03, 0.04.
+    assert sorted(finish.values()) == pytest.approx([0.01, 0.02, 0.03, 0.04])
+    assert server.ops_served == 4
+
+
+def test_simulated_server_async_overlaps():
+    sim = Simulator()
+    server = SimulatedKvServer(sim, op_time=0.01, blocking=False)
+    finish = {}
+
+    def client(name):
+        yield server.request()
+        finish[name] = sim.now
+
+    for i in range(4):
+        Process(sim, client(i))
+    sim.run()
+    assert all(t == pytest.approx(0.01) for t in finish.values())
+
+
+def test_simulated_server_validation():
+    with pytest.raises(ValueError):
+        SimulatedKvServer(Simulator(), op_time=0, blocking=True)
+
+
+def test_custom_store_model():
+    etcd = StoreModel(name="etcd", op_time=50e-6, blocking=False)
+    assert etcd.barrier_time(100) == pytest.approx(100 * 50e-6)

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--gpus", "256", "--batch", "768"]) == 0
+    out = capsys.readouterr().out
+    assert "MegaScale" in out and "Megatron-LM" in out
+    assert "speedup" in out
+
+
+def test_ablation_command(capsys):
+    assert main(["ablation"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+    assert "LAMB" in out
+
+
+def test_init_command(capsys):
+    assert main(["init", "--gpus", "2048"]) == 0
+    out = capsys.readouterr().out
+    assert "tcpstore_naive" in out
+    assert "redis_ordered" in out
+
+
+def test_production_command(capsys):
+    assert main(["production", "--gpus", "256", "--weeks", "0.1", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "restarts" in out
+    assert "effective time rate" in out
+
+
+def test_tune_command(capsys):
+    assert main(["tune", "--model", "gpt-13b", "--gpus", "16", "--batch", "64", "--top", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "#1" in out and "MFU" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,16 @@
+"""CLI sweep command (separate module: it simulates every Table 2 scale)."""
+
+from repro.cli import main
+
+
+def test_sweep_command_covers_all_scales(capsys):
+    assert main(["sweep"]) == 0
+    out = capsys.readouterr().out
+    for gpus in ("256", "1024", "12288"):
+        assert gpus in out
+    assert "speedup" in out
+    # Every row shows MegaScale ahead.
+    rows = [l for l in out.splitlines()[1:] if l.strip()]
+    assert len(rows) == 8
+    for row in rows:
+        assert row.strip().endswith("x")

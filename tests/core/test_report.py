@@ -1,0 +1,65 @@
+"""Tests for the reporting layer (Table 2 units and formatting)."""
+
+import pytest
+
+from repro import job_175b, megascale, megatron_lm
+from repro.core.report import Comparison, JobReport, render_table
+
+
+@pytest.fixture(scope="module")
+def reports():
+    job = job_175b(256, 768)
+    return megascale().run(job), megatron_lm().run(job)
+
+
+def test_throughput_units(reports):
+    ms, _ = reports
+    expected = 768 * 2048 / ms.iteration_time
+    assert ms.throughput_tokens_per_s == pytest.approx(expected)
+
+
+def test_training_days_for_300b_tokens(reports):
+    ms, _ = reports
+    days = ms.training_days_300b
+    assert days == pytest.approx(300e9 / ms.throughput_tokens_per_s / 86400)
+    # Table 2's 256-GPU MegaScale row: 70.86 days; ours within 5%.
+    assert days == pytest.approx(70.86, rel=0.05)
+
+
+def test_aggregate_pflops(reports):
+    ms, _ = reports
+    # Aggregate PFlops = MFU * n_gpus * peak.
+    expected = ms.mfu * 256 * 312e12 / 1e15
+    assert ms.aggregate_pflops == pytest.approx(expected, rel=1e-6)
+
+
+def test_table_row_contains_all_columns(reports):
+    ms, _ = reports
+    row = ms.table_row()
+    assert "MegaScale" in row
+    assert "256" in row
+    assert "%" in row
+    header = JobReport.table_header()
+    assert all(col in header for col in ("GPUs", "iter(s)", "tokens/s", "days", "MFU"))
+
+
+def test_render_table_line_count(reports):
+    ms, mt = reports
+    table = render_table([mt, ms])
+    assert len(table.splitlines()) == 3
+
+
+def test_comparison_metrics(reports):
+    ms, mt = reports
+    comparison = Comparison(megascale=ms, baseline=mt)
+    assert comparison.speedup == pytest.approx(mt.iteration_time / ms.iteration_time)
+    assert comparison.mfu_gain == pytest.approx(ms.mfu - mt.mfu)
+    summary = comparison.summary()
+    assert "256 GPUs" in summary and "x speedup" in summary
+
+
+def test_comparison_speedup_equals_mfu_ratio(reports):
+    # Same batch, same model: time ratio == MFU ratio.
+    ms, mt = reports
+    comparison = Comparison(megascale=ms, baseline=mt)
+    assert comparison.speedup == pytest.approx(ms.mfu / mt.mfu, rel=1e-9)

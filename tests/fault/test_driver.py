@@ -1,0 +1,132 @@
+"""Tests for the robust-training driver and production-run simulation."""
+
+import numpy as np
+import pytest
+
+from repro.fault import (
+    CheckpointPlanner,
+    FaultInjector,
+    MockKubernetes,
+    ProductionRun,
+    ProductionRunConfig,
+    RobustTrainingDriver,
+    catch_up_time,
+    default_loss_curve,
+)
+from repro.fault.faults import CUDA_ERROR, NCCL_HANG
+from repro.hardware import Cluster
+from repro.model import GPT_175B
+from repro.parallel import plan_for_gpus
+from repro.sim import Simulator
+
+
+def make_driver(n_nodes=4, n_spares=2):
+    sim = Simulator()
+    cluster = Cluster.build(n_nodes=n_nodes, n_spares=n_spares)
+    driver = RobustTrainingDriver(
+        sim=sim, cluster=cluster, kubernetes=MockKubernetes(cluster=cluster)
+    )
+    return sim, cluster, driver
+
+
+def test_driver_receives_heartbeats():
+    sim, cluster, driver = make_driver()
+    driver.start()
+    sim.run(until=35.0)
+    assert driver.drain_heartbeats() > 0
+    for history in driver.histories.values():
+        assert history.beats
+
+
+def test_driver_detects_explicit_fault_and_recovers():
+    sim, cluster, driver = make_driver()
+    driver.start()
+    sim.run(until=25.0)
+    victim = driver.executors[1]
+    victim.inject(CUDA_ERROR)
+    sim.run(until=60.0)
+    anomalies = driver.check_anomalies()
+    assert any(a.node_id == victim.node.node_id for a in anomalies)
+    evicted = driver.recover()
+    assert victim.node.node_id in evicted
+    assert driver.state == "running"
+    assert len(cluster.nodes) == 4  # replenished from spares
+
+
+def test_driver_detects_hang_via_traffic():
+    sim, cluster, driver = make_driver()
+    driver.start()
+    sim.run(until=45.0)
+    driver.drain_heartbeats()
+    victim = driver.executors[0]
+    victim.inject(NCCL_HANG)
+    sim.run(until=120.0)
+    anomalies = driver.check_anomalies()
+    verdicts = {a.node_id: a.verdict.value for a in anomalies}
+    assert verdicts.get(victim.node.node_id) == "traffic-ceased"
+
+
+def test_driver_healthy_cluster_reports_nothing():
+    sim, cluster, driver = make_driver()
+    driver.start()
+    sim.run(until=60.0)
+    assert driver.check_anomalies() == []
+
+
+# -- production run (Figure 11) ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def production_result():
+    plan = plan_for_gpus(12288, tp=8, pp=8, vpp=6)
+    injector = FaultInjector(n_nodes=1536, rng=np.random.default_rng(7))
+    planner = CheckpointPlanner(model=GPT_175B, plan=plan)
+    run = ProductionRun(plan, injector, planner=planner, rng=np.random.default_rng(7))
+    return run.run(duration=4 * 7 * 86400.0), run.config
+
+
+def test_production_run_over_100_restarts(production_result):
+    result, _ = production_result
+    # Figure 11: "repairs and recovers the training process for over 100
+    # times" over several weeks.
+    assert result.restarts > 100
+
+
+def test_production_run_effective_rate_above_90(production_result):
+    result, config = production_result
+    assert result.effective_rate(config.iteration_time) > 0.90
+
+
+def test_production_run_auto_fraction_above_90(production_result):
+    result, _ = production_result
+    assert result.log.auto_fraction() > 0.90
+
+
+def test_production_run_detect_diagnose_under_10min(production_result):
+    result, _ = production_result
+    auto = [r for r in result.log.records if r.auto]
+    mean = sum(r.detected_at - r.fault.time + r.diagnosis_time for r in auto) / len(auto)
+    assert mean < 600.0
+
+
+def test_production_run_loss_monotone_overall(production_result):
+    result, _ = production_result
+    losses = [loss for _, loss, _ in result.loss_points]
+    # Restarts roll back a little, but the envelope converges.
+    assert losses[-1] < losses[0]
+    assert losses[-1] < min(losses[: len(losses) // 4])
+
+
+def test_catch_up_within_15_minutes():
+    assert catch_up_time(ProductionRunConfig()) < 900.0
+
+
+def test_loss_curve_decreasing():
+    assert default_loss_curve(1e12) < default_loss_curve(1e9) < default_loss_curve(0.0)
+
+
+def test_production_run_validation():
+    plan = plan_for_gpus(256, tp=8, pp=8)
+    run = ProductionRun(plan, FaultInjector(n_nodes=32))
+    with pytest.raises(ValueError):
+        run.run(0.0)

@@ -1,0 +1,101 @@
+"""Direct tests for the per-node executor daemon."""
+
+import pytest
+
+from repro.fault.executor import HEALTHY_RDMA_RATE, Executor
+from repro.fault.faults import CUDA_ERROR, NCCL_HANG, SLOW_HOST
+from repro.hardware import Node, NodeSpec
+from repro.sim import Channel, Simulator
+
+
+def make_executor(interval=10.0):
+    sim = Simulator()
+    node = Node(spec=NodeSpec())
+    channel = Channel(sim, name="hb")
+    executor = Executor(sim=sim, node=node, channel=channel, heartbeat_interval=interval)
+    return sim, node, channel, executor
+
+
+def drain(channel):
+    beats = []
+    while True:
+        beat = channel.try_recv()
+        if beat is None:
+            return beats
+        beats.append(beat)
+
+
+def test_healthy_executor_beats_on_schedule():
+    sim, node, channel, executor = make_executor(interval=5.0)
+    executor.start()
+    sim.run(until=26.0)
+    beats = drain(channel)
+    assert len(beats) == 5  # t = 5, 10, 15, 20, 25
+    assert all(b.process_status == "running" for b in beats)
+    assert all(b.rdma_tx_rate == pytest.approx(HEALTHY_RDMA_RATE) for b in beats)
+    assert beats[0].ip == node.ip
+
+
+def test_explicit_fault_reports_error_and_logs():
+    sim, node, channel, executor = make_executor()
+    executor.start()
+    sim.run(until=15.0)
+    drain(channel)
+    executor.inject(CUDA_ERROR)
+    sim.run(until=25.0)
+    beats = drain(channel)
+    assert beats
+    assert beats[-1].process_status == "error"
+    assert any("CUDA error" in line for line in beats[-1].log_lines)
+    assert beats[-1].rdma_tx_rate == 0.0
+    assert not node.healthy  # fault applied to the hardware
+
+
+def test_hang_keeps_status_running_but_zero_traffic():
+    sim, node, channel, executor = make_executor()
+    executor.start()
+    executor.inject(NCCL_HANG)
+    sim.run(until=12.0)
+    beats = drain(channel)
+    assert beats[-1].process_status == "running"
+    assert beats[-1].rdma_tx_rate == 0.0
+
+
+def test_silent_fault_looks_almost_healthy():
+    sim, node, channel, executor = make_executor()
+    executor.start()
+    executor.inject(SLOW_HOST)
+    sim.run(until=12.0)
+    beats = drain(channel)
+    assert beats[-1].process_status == "running"
+    # Traffic only mildly depressed: the signature heartbeats can't catch.
+    assert beats[-1].rdma_tx_rate == pytest.approx(HEALTHY_RDMA_RATE * 0.9)
+
+
+def test_clear_fault_restores_healthy_beats():
+    sim, node, channel, executor = make_executor()
+    executor.start()
+    executor.inject(NCCL_HANG)
+    sim.run(until=12.0)
+    drain(channel)
+    executor.clear_fault()
+    sim.run(until=22.0)
+    beats = drain(channel)
+    assert beats[-1].rdma_tx_rate > 0
+
+
+def test_stop_halts_heartbeats():
+    sim, node, channel, executor = make_executor()
+    executor.start()
+    sim.run(until=12.0)
+    drain(channel)
+    executor.stop()
+    sim.run(until=60.0)
+    assert drain(channel) == []
+
+
+def test_executor_validation():
+    sim = Simulator()
+    node = Node(spec=NodeSpec())
+    with pytest.raises(ValueError):
+        Executor(sim=sim, node=node, channel=Channel(sim), heartbeat_interval=0)

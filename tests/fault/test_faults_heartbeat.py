@@ -1,0 +1,174 @@
+"""Tests for the fault catalog, heartbeats and anomaly detection."""
+
+import numpy as np
+import pytest
+
+from repro.fault import (
+    AnomalyDetector,
+    FAULT_CATALOG,
+    FaultInjector,
+    HeartbeatHistory,
+    HeartbeatMessage,
+    Verdict,
+    auto_detectable_fraction,
+    scan_log_lines,
+)
+from repro.fault.faults import CUDA_ERROR, SLOW_HOST, Manifestation
+from repro.hardware import Node, NodeSpec
+
+
+def test_catalog_covers_all_manifestations():
+    kinds = {k.manifestation for k in FAULT_CATALOG}
+    assert kinds == {Manifestation.EXPLICIT, Manifestation.HANG, Manifestation.SILENT}
+
+
+def test_catalog_auto_detectable_majority():
+    # §6.2: > 90% of faults are auto-detected; the rate-weighted mix
+    # of auto-detectable kinds must exceed that.
+    total = sum(k.weekly_rate_per_node for k in FAULT_CATALOG)
+    auto = sum(k.weekly_rate_per_node for k in FAULT_CATALOG if k.auto_detectable)
+    assert auto / total > 0.9
+
+
+def test_fault_application_mutates_node():
+    node = Node(spec=NodeSpec())
+    CUDA_ERROR.apply(node)
+    assert not node.healthy
+    node2 = Node(spec=NodeSpec())
+    SLOW_HOST.apply(node2)
+    assert node2.speed_factor == pytest.approx(0.9)
+
+
+def test_injector_produces_expected_volume():
+    # ~1536 nodes over 4 weeks: the paper's "over 100" restarts.
+    injector = FaultInjector(n_nodes=1536, rng=np.random.default_rng(0))
+    horizon = 4 * 7 * 86400.0
+    events = injector.sample(horizon)
+    expected = injector.expected_faults(horizon)
+    assert expected == pytest.approx(len(events), rel=0.25)
+    assert len(events) > 80
+
+
+def test_injector_events_time_ordered_and_in_range():
+    injector = FaultInjector(n_nodes=100, rng=np.random.default_rng(1))
+    events = injector.sample(7 * 86400.0)
+    times = [e.time for e in events]
+    assert times == sorted(times)
+    assert all(0 <= e.node_index < 100 for e in events)
+
+
+def test_auto_detectable_fraction_of_sample():
+    injector = FaultInjector(n_nodes=1536, rng=np.random.default_rng(2))
+    events = injector.sample(4 * 7 * 86400.0)
+    assert auto_detectable_fraction(events) > 0.85
+    assert auto_detectable_fraction([]) == 1.0
+
+
+def test_injector_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(n_nodes=0)
+    with pytest.raises(ValueError):
+        FaultInjector(n_nodes=1, rate_multiplier=0)
+    with pytest.raises(ValueError):
+        FaultInjector(n_nodes=1).sample(0)
+
+
+# -- heartbeats -------------------------------------------------------------
+
+
+def _beat(t, node_id=1, status="running", logs=(), tx=12e9):
+    return HeartbeatMessage(
+        time=t,
+        node_id=node_id,
+        ip="10.0.0.1",
+        pod_name="pod-1",
+        process_status=status,
+        log_lines=logs,
+        rdma_tx_rate=tx,
+        rdma_rx_rate=tx,
+    )
+
+
+def test_log_keyword_scan():
+    found = scan_log_lines(("RuntimeError: CUDA error: illegal access",))
+    assert "CUDA error" in found
+    assert scan_log_lines(("all good",)) == []
+
+
+def test_history_ordering_enforced():
+    history = HeartbeatHistory(node_id=1)
+    history.record(_beat(10.0))
+    with pytest.raises(ValueError):
+        history.record(_beat(5.0))
+    with pytest.raises(ValueError):
+        history.record(_beat(20.0, node_id=2))
+
+
+def test_detector_missing_heartbeat():
+    history = HeartbeatHistory(node_id=1)
+    history.record(_beat(0.0))
+    detector = AnomalyDetector(heartbeat_timeout=30.0)
+    assert detector.check(history, now=10.0) is None
+    anomaly = detector.check(history, now=100.0)
+    assert anomaly is not None
+    assert anomaly.verdict is Verdict.MISSING_HEARTBEAT
+    assert anomaly.triggers_auto_recovery
+
+
+def test_detector_explicit_error_status():
+    history = HeartbeatHistory(node_id=1)
+    history.record(_beat(0.0, status="error"))
+    anomaly = AnomalyDetector().check(history, now=5.0)
+    assert anomaly.verdict is Verdict.EXPLICIT_ERROR
+
+
+def test_detector_log_keywords():
+    history = HeartbeatHistory(node_id=1)
+    history.record(_beat(0.0, logs=("Segmentation fault (core dumped)",)))
+    anomaly = AnomalyDetector().check(history, now=5.0)
+    assert anomaly.verdict is Verdict.EXPLICIT_ERROR
+    assert "Segmentation fault" in anomaly.detail
+
+
+def test_detector_traffic_ceased_means_hang():
+    history = HeartbeatHistory(node_id=1)
+    for t in range(6):
+        history.record(_beat(float(t * 10), tx=12e9))
+    history.record(_beat(60.0, tx=0.0))
+    anomaly = AnomalyDetector().check(history, now=65.0)
+    assert anomaly.verdict is Verdict.TRAFFIC_CEASED
+    assert anomaly.triggers_auto_recovery
+
+
+def test_detector_traffic_decline_alerts_only():
+    history = HeartbeatHistory(node_id=1)
+    for t in range(5):
+        history.record(_beat(float(t * 10), tx=12e9))
+    history.record(_beat(50.0, tx=4e9))
+    anomaly = AnomalyDetector().check(history, now=55.0)
+    assert anomaly.verdict is Verdict.TRAFFIC_DECLINED
+    assert not anomaly.triggers_auto_recovery
+
+
+def test_detector_healthy_node_clean():
+    history = HeartbeatHistory(node_id=1)
+    for t in range(6):
+        history.record(_beat(float(t * 10)))
+    assert AnomalyDetector().check(history, now=55.0) is None
+
+
+def test_detector_sweep():
+    healthy = HeartbeatHistory(node_id=1)
+    healthy.record(_beat(50.0))
+    dead = HeartbeatHistory(node_id=2)
+    detector = AnomalyDetector()
+    anomalies = detector.sweep([healthy, dead], now=60.0)
+    assert len(anomalies) == 1
+    assert anomalies[0].node_id == 2
+
+
+def test_detector_validation():
+    with pytest.raises(ValueError):
+        AnomalyDetector(heartbeat_timeout=0)
+    with pytest.raises(ValueError):
+        AnomalyDetector(decline_ratio=1.0)

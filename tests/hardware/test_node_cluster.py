@@ -1,0 +1,102 @@
+"""Unit tests for Node, NIC and Cluster."""
+
+import pytest
+
+from repro.hardware import CX6_200G, Cluster, Nic, Node, NodeSpec, build_nodes
+
+
+def test_node_has_eight_gpus_and_nics_by_default():
+    node = Node(spec=NodeSpec())
+    assert node.n_gpus == 8
+    assert len(node.nics) == 8
+
+
+def test_node_ids_unique():
+    nodes = build_nodes(10)
+    assert len({n.node_id for n in nodes}) == 10
+
+
+def test_node_ip_stable_and_distinct():
+    a, b = build_nodes(2)
+    assert a.ip != b.ip
+    assert a.ip == a.ip
+
+
+def test_node_speed_factor_tracks_slowest_gpu():
+    node = Node(spec=NodeSpec())
+    node.gpus[3].degrade(0.9)
+    assert node.speed_factor == pytest.approx(0.9)
+    assert node.has_fault()
+
+
+def test_fresh_node_has_no_fault():
+    assert not Node(spec=NodeSpec()).has_fault()
+
+
+def test_nic_degradation_marks_fault():
+    node = Node(spec=NodeSpec())
+    node.nics[0].degrade(0.5)
+    assert node.has_fault()
+    node.nics[0].degrade(0.0)
+    assert not node.nics[0].healthy
+
+
+def test_nic_traffic_counters():
+    nic = Nic(spec=CX6_200G, index=0)
+    nic.record_tx(0.0, 1000.0)
+    nic.record_rx(0.0, 500.0)
+    assert nic.tx_bytes.value == 1000.0
+    assert nic.rx_bytes.value == 500.0
+
+
+def test_cluster_build_and_gpu_count():
+    cluster = Cluster.build(n_nodes=4, n_spares=2)
+    assert len(cluster) == 4
+    assert cluster.n_gpus == 32
+    assert len(cluster.spares) == 2
+
+
+def test_cluster_rank_mapping():
+    cluster = Cluster.build(n_nodes=4)
+    assert cluster.node_of_rank(0) is cluster.nodes[0]
+    assert cluster.node_of_rank(8) is cluster.nodes[1]
+    assert cluster.gpu_of_rank(9).index == 1
+    with pytest.raises(IndexError):
+        cluster.node_of_rank(32)
+
+
+def test_cluster_eviction_replaces_from_spares():
+    cluster = Cluster.build(n_nodes=3, n_spares=1)
+    bad = cluster.nodes[1]
+    replacement = cluster.evict(bad.node_id)
+    assert bad.evicted
+    assert cluster.nodes[1] is replacement
+    assert not cluster.spares
+
+
+def test_cluster_eviction_without_spares_raises():
+    cluster = Cluster.build(n_nodes=2)
+    with pytest.raises(LookupError):
+        cluster.evict(cluster.nodes[0].node_id)
+
+
+def test_cluster_eviction_of_unknown_node_raises():
+    cluster = Cluster.build(n_nodes=2, n_spares=1)
+    with pytest.raises(LookupError):
+        cluster.evict(999_999_999)
+
+
+def test_faulty_nodes_listing():
+    cluster = Cluster.build(n_nodes=5)
+    cluster.nodes[2].set_speed_factor(0.88)
+    cluster.nodes[4].nics[1].degrade(0.3)
+    faulty = cluster.faulty_nodes()
+    assert cluster.nodes[2] in faulty
+    assert cluster.nodes[4] in faulty
+    assert len(faulty) == 2
+    assert cluster.slowest_speed_factor() == pytest.approx(0.88)
+
+
+def test_build_nodes_validation():
+    with pytest.raises(ValueError):
+        build_nodes(0)

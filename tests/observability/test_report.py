@@ -1,0 +1,52 @@
+"""Tests for the combined diagnosis report."""
+
+import numpy as np
+
+from repro.observability.cuda_events import CudaEventTimer
+from repro.observability.report import diagnose
+
+
+def make_timer(slow_ranks=(), skew=False, n_ranks=32, n_steps=40):
+    rng = np.random.default_rng(0)
+    timer = CudaEventTimer()
+    for step in range(n_steps):
+        for rank in range(n_ranks):
+            base = 0.1 * (1.12 if rank in slow_ranks else 1.0)
+            timer.record(rank, step, "forward", base + rng.normal(0, 0.0005))
+            rs_skew = step * 1e-3 if (skew and rank == 1) else 0.0
+            timer.record(
+                rank, step, "reduce_scatter", 0.02 + rs_skew, started_at=1.0 + rs_skew
+            )
+    return timer
+
+
+def test_healthy_run_reports_healthy():
+    report = diagnose(make_timer())
+    assert report.healthy
+    assert report.straggler_nodes == []
+    assert "healthy" in report.render()
+
+
+def test_straggler_flagged_with_recommendation():
+    report = diagnose(make_timer(slow_ranks={9}))
+    assert not report.healthy
+    assert report.straggler_nodes == [1]  # rank 9 -> machine 1
+    text = report.render()
+    assert "evict" in text
+    assert "action required" in text
+
+
+def test_decline_flagged_with_gc_recommendation():
+    report = diagnose(make_timer(skew=True))
+    assert not report.healthy
+    assert report.decline is not None
+    assert report.decline.culprit == "reduce_scatter"
+    assert any("GC" in r for r in report.recommendations)
+
+
+def test_combined_problems_both_reported():
+    report = diagnose(make_timer(slow_ranks={4}, skew=True))
+    assert len(report.recommendations) == 2
+    text = report.render()
+    assert "straggler machines" in text
+    assert "trend analysis" in text

@@ -1,0 +1,152 @@
+"""Tests for ADAM, LAMB and the convergence harness (Figure 10)."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    Adam,
+    Batcher,
+    Lamb,
+    LmConfig,
+    curves_match,
+    improvement,
+    make_markov_corpus,
+    train_lm,
+)
+
+
+def quadratic_params():
+    return {"w": np.array([5.0, -3.0])}
+
+
+def quadratic_grads(params):
+    return {"w": 2 * params["w"]}  # minimizing ||w||^2
+
+
+def test_adam_minimizes_quadratic():
+    params = quadratic_params()
+    opt = Adam(params, lr=0.1)
+    for _ in range(300):
+        opt.step(params, quadratic_grads(params))
+    assert np.abs(params["w"]).max() < 0.05
+
+
+def test_lamb_minimizes_quadratic():
+    params = quadratic_params()
+    opt = Lamb(params, lr=0.05, weight_decay=0.0)
+    for _ in range(300):
+        opt.step(params, quadratic_grads(params))
+    assert np.abs(params["w"]).max() < 0.05
+
+
+def test_adam_bias_correction_first_step():
+    params = {"w": np.array([1.0])}
+    opt = Adam(params, lr=0.1)
+    opt.step(params, {"w": np.array([1.0])})
+    # With bias correction the first step magnitude ~= lr.
+    assert params["w"][0] == pytest.approx(1.0 - 0.1, abs=1e-3)
+
+
+def test_lamb_trust_ratio():
+    params = {"w": np.ones((4, 4))}
+    opt = Lamb(params, lr=0.1)
+    assert opt.trust_ratio(np.ones(4) * 2, np.ones(4)) == pytest.approx(2.0)
+    assert opt.trust_ratio(np.zeros(4), np.ones(4)) == 1.0
+    assert opt.trust_ratio(np.ones(4) * 100, np.ones(4) * 0.001) == opt.trust_clip
+
+
+def test_optimizer_validation():
+    params = quadratic_params()
+    with pytest.raises(ValueError):
+        Adam(params, lr=0)
+    with pytest.raises(ValueError):
+        Adam(params, beta1=1.0)
+    with pytest.raises(ValueError):
+        Lamb(params, lr=-1)
+    with pytest.raises(ValueError):
+        Lamb(params, trust_clip=0)
+
+
+# -- corpus and batcher ------------------------------------------------------
+
+
+def test_corpus_properties():
+    corpus = make_markov_corpus(vocab_size=16, length=5000, seed=0)
+    assert corpus.shape == (5000,)
+    assert corpus.min() >= 0 and corpus.max() < 16
+    # Structured: conditional entropy well below uniform.
+    assert len(np.unique(corpus)) > 8
+
+
+def test_corpus_deterministic():
+    a = make_markov_corpus(vocab_size=8, length=1000, seed=5)
+    b = make_markov_corpus(vocab_size=8, length=1000, seed=5)
+    assert np.array_equal(a, b)
+    with pytest.raises(ValueError):
+        make_markov_corpus(vocab_size=2, length=1000)
+
+
+def test_batcher_shapes_and_target_shift():
+    corpus = np.arange(100)
+    batcher = Batcher(corpus, seq_len=8, batch_size=4, rng=np.random.default_rng(0))
+    tokens, targets = batcher.sample()
+    assert tokens.shape == targets.shape == (4, 8)
+    assert np.array_equal(tokens[:, 1:], targets[:, :-1])  # next-token shift
+    with pytest.raises(ValueError):
+        Batcher(np.arange(5), seq_len=8, batch_size=1)
+
+
+# -- training harness ---------------------------------------------------------
+
+
+CFG = LmConfig(vocab_size=32, d_model=32, n_heads=4, n_layers=2, seq_len=24)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_markov_corpus(32, length=30_000, seed=0)
+
+
+def test_training_reduces_loss(corpus):
+    curve = train_lm(CFG, "adam", lr=3e-3, batch_size=8, n_steps=80, corpus=corpus)
+    assert improvement(curve) > 0.15
+    assert curve.final_loss < curve.losses[0]
+
+
+def test_lamb_trains_tiny_lm(corpus):
+    curve = train_lm(CFG, "lamb", lr=4e-3, batch_size=8, n_steps=80, corpus=corpus)
+    assert improvement(curve) > 0.1
+
+
+def test_ptb_swa_convergence_matches_baseline(corpus):
+    # Figure 10a at test scale: algorithmic variants reach comparable loss.
+    base = train_lm(CFG, "adam", lr=3e-3, batch_size=8, n_steps=100, corpus=corpus, seed=1)
+    variant_cfg = LmConfig(
+        vocab_size=32, d_model=32, n_heads=4, n_layers=2, seq_len=24,
+        parallel_block=True, attention_window=12,
+    )
+    variant = train_lm(variant_cfg, "adam", lr=3e-3, batch_size=8, n_steps=100, corpus=corpus, seed=1)
+    # The paper's claim is "no degradation": the variant must not be worse.
+    # (At this scale it happens to converge slightly faster.)
+    assert variant.final_loss <= base.final_loss + 0.1
+    assert curves_match(base, variant, tolerance=0.35)
+
+
+def test_curve_bookkeeping(corpus):
+    curve = train_lm(CFG, "adam", batch_size=4, n_steps=20, eval_every=5, corpus=corpus)
+    assert curve.steps == (5, 10, 15, 20)
+    assert curve.tokens_seen[-1] == 20 * 4 * 24
+    assert curve.loss_at_tokens(0) == curve.losses[0]
+    assert curve.loss_at_tokens(1e12) == curve.final_loss
+
+
+def test_train_lm_validation(corpus):
+    with pytest.raises(ValueError):
+        train_lm(CFG, "sgd", corpus=corpus)
+    with pytest.raises(ValueError):
+        train_lm(CFG, "adam", n_steps=0, corpus=corpus)
+    from repro.optim.convergence import TrainingCurve, curves_match as cm
+
+    a = TrainingCurve("a", (1,), (1.0,), (10,))
+    with pytest.raises(ValueError):
+        cm(a, a, tail=0)

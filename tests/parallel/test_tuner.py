@@ -1,0 +1,75 @@
+"""Tests for the parallelism auto-tuner."""
+
+import pytest
+
+from repro.hardware import AMPERE
+from repro.model import GPT_13B, GPT_175B
+from repro.parallel import ParallelPlan
+from repro.parallel.tuner import candidate_plans, feasible, tune
+
+
+def test_candidates_satisfy_structural_constraints():
+    for plan in candidate_plans(GPT_175B, n_gpus=64):
+        assert plan.world_size == 64
+        assert GPT_175B.n_layers % (plan.pp * plan.vpp) == 0
+        assert plan.tp in (1, 2, 4, 8)
+
+
+def test_candidates_nonempty_for_paper_scales():
+    assert any(True for _ in candidate_plans(GPT_175B, n_gpus=256))
+    assert any(True for _ in candidate_plans(GPT_13B, n_gpus=8))
+
+
+def test_candidate_validation():
+    with pytest.raises(ValueError):
+        list(candidate_plans(GPT_175B, n_gpus=0))
+
+
+def test_feasible_rejects_oom_plans():
+    # 175B on 8 GPUs with no model parallelism cannot fit.
+    plan = ParallelPlan(dp=8, tp=1, pp=1)
+    assert not feasible(GPT_175B, plan, AMPERE, global_batch=64)
+    # The paper's config fits.
+    paper = ParallelPlan(dp=4, tp=8, pp=8, vpp=6)
+    assert feasible(GPT_175B, paper, AMPERE, global_batch=256)
+
+
+def test_feasible_rejects_bad_batch_split():
+    plan = ParallelPlan(dp=4, tp=8, pp=8, vpp=6)
+    assert not feasible(GPT_175B, plan, AMPERE, global_batch=100)  # 25 not mult of 8
+    assert not feasible(GPT_175B, plan, AMPERE, global_batch=30)  # not divisible
+
+
+def test_tune_returns_ranked_feasible_plans():
+    results = tune(GPT_175B, n_gpus=256, global_batch=256, top_k=3, max_candidates=12)
+    assert 1 <= len(results) <= 3
+    mfus = [r.mfu for r in results]
+    assert mfus == sorted(mfus, reverse=True)
+    for r in results:
+        assert feasible(GPT_175B, r.plan, AMPERE, 256)
+        assert r.iteration_time > 0
+        assert "MFU" in r.describe()
+
+
+def test_tune_prefers_model_parallel_for_huge_models():
+    results = tune(GPT_175B, n_gpus=256, global_batch=256, top_k=1, max_candidates=12)
+    best = results[0].plan
+    # 175B needs real model-parallel sharding (plus ZeRO) to fit at all.
+    assert best.tp * best.pp >= 8
+    assert feasible(GPT_175B, best, AMPERE, 256)
+
+
+def test_tune_small_model_avoids_excess_pipeline():
+    results = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=1, max_candidates=16)
+    best = results[0].plan
+    # 13B fits with modest model parallelism; the tuner should not pick
+    # an extreme pipeline depth.
+    assert best.pp <= 8
+
+
+def test_tune_validation():
+    with pytest.raises(ValueError):
+        tune(GPT_175B, n_gpus=256, global_batch=256, top_k=0)
+    with pytest.raises(ValueError):
+        # No feasible plan: 175B on a single GPU.
+        tune(GPT_175B, n_gpus=1, global_batch=1)

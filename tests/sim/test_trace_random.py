@@ -1,0 +1,92 @@
+"""Unit tests for trace recording and named random streams."""
+
+import pytest
+
+from repro.sim import Counter, RandomStreams, TraceRecorder
+
+
+def test_record_and_query_spans():
+    rec = TraceRecorder()
+    rec.record("forward", rank=0, start=0.0, end=1.0)
+    rec.record("backward", rank=0, start=1.0, end=3.0)
+    rec.record("forward", rank=1, start=0.0, end=1.5)
+    assert len(rec) == 3
+    assert rec.ranks() == [0, 1]
+    assert [s.name for s in rec.spans(rank=0)] == ["forward", "backward"]
+    assert rec.total_time(0) == 3.0
+    assert rec.total_time(1, name="forward") == 1.5
+
+
+def test_span_duration_and_attrs():
+    rec = TraceRecorder()
+    span = rec.record("rs", rank=2, start=1.0, end=4.0, stream="comm", chunk=3)
+    assert span.duration == 3.0
+    assert span.attr("chunk") == 3
+    assert span.attr("missing", "dflt") == "dflt"
+
+
+def test_invalid_span_rejected():
+    rec = TraceRecorder()
+    with pytest.raises(ValueError):
+        rec.record("bad", rank=0, start=5.0, end=1.0)
+
+
+def test_stream_filter():
+    rec = TraceRecorder()
+    rec.record("x", rank=0, start=0, end=1, stream="comm")
+    rec.record("x", rank=0, start=0, end=1, stream="compute")
+    assert len(rec.spans(stream="comm")) == 1
+
+
+def test_merge_traces():
+    a, b = TraceRecorder(), TraceRecorder()
+    a.record("s", rank=0, start=0, end=1)
+    b.record("s", rank=1, start=0, end=2)
+    a.merge(b)
+    assert a.ranks() == [0, 1]
+    assert len(a) == 2
+
+
+def test_counter_monotone():
+    c = Counter("rdma_bytes")
+    c.add(0.0, 100.0)
+    c.add(1.0, 50.0)
+    assert c.value == 150.0
+    with pytest.raises(ValueError):
+        c.add(2.0, -1.0)
+
+
+def test_counter_rate_window():
+    c = Counter("bytes")
+    for t in range(10):
+        c.add(float(t), 10.0)
+    # Over the last 5 seconds (t in (4, 9]): 50 bytes.
+    assert c.rate(window=5.0, now=9.0) == pytest.approx(10.0)
+
+
+def test_random_streams_deterministic():
+    a = RandomStreams(seed=7)
+    b = RandomStreams(seed=7)
+    assert a.stream("faults").integers(0, 1000, 5).tolist() == b.stream(
+        "faults"
+    ).integers(0, 1000, 5).tolist()
+
+
+def test_random_streams_independent_by_name():
+    streams = RandomStreams(seed=7)
+    x = streams.stream("a").integers(0, 1 << 30, 8).tolist()
+    y = streams.stream("b").integers(0, 1 << 30, 8).tolist()
+    assert x != y
+
+
+def test_random_stream_is_cached():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("s") is streams.stream("s")
+
+
+def test_fork_derives_independent_factory():
+    root = RandomStreams(seed=3)
+    f1 = root.fork("trial-1")
+    f2 = root.fork("trial-2")
+    assert f1.seed != f2.seed
+    assert RandomStreams(3).fork("trial-1").seed == f1.seed

@@ -1,0 +1,63 @@
+"""Golden-value regression tests guarding the calibration.
+
+The benchmarks assert *shape*; these pin the headline numbers within
+tight bands so an accidental change to a cost constant is caught
+immediately, with the current measured values recorded alongside the
+paper's for context.
+"""
+
+import pytest
+
+from repro import compare, job_175b, megascale, megatron_lm
+from repro.collectives import paper_sequence
+from repro.parallel import plan_for_gpus
+
+# (gpus, batch) -> (megatron_mfu, megascale_mfu) measured at calibration time.
+GOLDEN_TABLE2 = {
+    (256, 768): (0.509, 0.658),
+    (1024, 768): (0.464, 0.630),
+    (12288, 6144): (0.408, 0.601),
+}
+
+
+@pytest.mark.parametrize("cfg", sorted(GOLDEN_TABLE2))
+def test_table2_golden_mfu(cfg):
+    result = compare(job_175b(n_gpus=cfg[0], global_batch=cfg[1]))
+    golden_mt, golden_ms = GOLDEN_TABLE2[cfg]
+    assert result.baseline.mfu == pytest.approx(golden_mt, abs=0.01), (
+        f"Megatron MFU drifted at {cfg}"
+    )
+    assert result.megascale.mfu == pytest.approx(golden_ms, abs=0.01), (
+        f"MegaScale MFU drifted at {cfg}"
+    )
+
+
+def test_table2_golden_iteration_times():
+    # Paper: 40.0 s / 32.0 s at 256 GPUs, 8.57 s / 6.34 s at 12,288.
+    small = compare(job_175b(256, 768))
+    assert small.baseline.iteration_time == pytest.approx(41.7, abs=1.0)
+    assert small.megascale.iteration_time == pytest.approx(32.2, abs=1.0)
+    large = compare(job_175b(12288, 6144))
+    assert large.megascale.iteration_time == pytest.approx(5.9, abs=0.3)
+
+
+def test_init_sequence_golden():
+    seq = paper_sequence(plan_for_gpus(2048, tp=8, pp=8, vpp=6))
+    assert seq["tcpstore_naive"] == pytest.approx(1047, abs=40)
+    assert seq["redis_naive"] == pytest.approx(361, abs=15)
+    assert seq["redis_ordered"] == pytest.approx(1.9, abs=0.5)
+
+
+def test_ablation_endpoints_golden():
+    job = job_175b(256, 256)
+    base = megatron_lm().run(job)
+    assert base.mfu == pytest.approx(0.498, abs=0.01)
+    full = megascale().run(job_175b(256, 768))
+    assert full.mfu == pytest.approx(0.658, abs=0.01)
+
+
+def test_straggler_expectation_golden():
+    from repro.training import expected_job_slowdown
+
+    assert expected_job_slowdown(32) == pytest.approx(0.985, abs=0.003)
+    assert expected_job_slowdown(1536) == pytest.approx(0.900, abs=0.003)

@@ -1,0 +1,149 @@
+"""Tests for the iteration engine against paper anchors (Tables 2 & 3)."""
+
+import pytest
+
+from repro.core.features import (
+    MEGASCALE,
+    MEGASCALE_ISO_BATCH,
+    MEGATRON_LM,
+    ablation_sequence,
+)
+from repro.model import GPT_175B
+from repro.parallel import ParallelPlan, plan_for_gpus
+from repro.training import IterationEngine, expected_job_slowdown
+
+
+PLAN_256 = plan_for_gpus(256, tp=8, pp=8, vpp=6)
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {
+        "megatron": IterationEngine(GPT_175B, PLAN_256, MEGATRON_LM),
+        "megascale": IterationEngine(GPT_175B, PLAN_256, MEGASCALE),
+    }
+
+
+def test_baseline_mfu_near_paper_anchor(engines):
+    # Table 3 baseline: 47.7% MFU at 256 GPUs, batch 256.
+    r = engines["megatron"].simulate(256)
+    assert r.mfu == pytest.approx(0.477, abs=0.03)
+
+
+def test_megascale_mfu_near_paper_anchor(engines):
+    # Table 3 full stack: 65.3% at batch 768.
+    r = engines["megascale"].simulate(768)
+    assert r.mfu == pytest.approx(0.653, abs=0.03)
+
+
+def test_table2_256gpu_iteration_times(engines):
+    # Table 2 @ 256 GPUs, batch 768: Megatron 40.0 s, MegaScale 32.0 s.
+    mt = engines["megatron"].simulate(768, speed_factor=expected_job_slowdown(32))
+    ms = engines["megascale"].simulate(768)
+    assert mt.iteration_time == pytest.approx(40.0, rel=0.08)
+    assert ms.iteration_time == pytest.approx(32.0, rel=0.08)
+
+
+def test_megascale_always_faster(engines):
+    for bs in (256, 768):
+        mt = engines["megatron"].simulate(bs)
+        ms = engines["megascale"].simulate(bs)
+        assert ms.iteration_time < mt.iteration_time
+
+
+def test_speedup_in_paper_range(engines):
+    # Table 2: 1.23x - 1.34x across scales; at 256 GPUs paper shows 1.23x.
+    mt = engines["megatron"].simulate(768, speed_factor=expected_job_slowdown(32))
+    ms = engines["megascale"].simulate(768)
+    assert 1.15 < ms.mfu / mt.mfu < 1.45
+
+
+def test_ablation_ladder_monotone():
+    prev = 0.0
+    for label, feats, scale in ablation_sequence():
+        r = IterationEngine(GPT_175B, PLAN_256, feats).simulate(256 * scale)
+        assert r.mfu > prev, f"{label} did not improve MFU"
+        prev = r.mfu
+
+
+def test_ablation_total_improvement_near_paper():
+    steps = ablation_sequence()
+    base = IterationEngine(GPT_175B, PLAN_256, steps[0][1]).simulate(256)
+    full = IterationEngine(GPT_175B, PLAN_256, steps[-1][1]).simulate(768)
+    # Paper: 47.7% -> 65.3%, a 17.6-point gain.
+    gain = (full.mfu - base.mfu) * 100
+    assert 12.0 < gain < 22.0
+
+
+def test_strong_scaling_mfu_declines(engines):
+    # Fixed batch, more GPUs -> lower MFU (Table 2's trend).
+    mfus = []
+    for n in (3072, 6144, 12288):
+        plan = plan_for_gpus(n, tp=8, pp=8, vpp=6)
+        r = IterationEngine(GPT_175B, plan, MEGASCALE).simulate(6144)
+        mfus.append(r.mfu)
+    assert mfus[0] > mfus[1] > mfus[2]
+    assert mfus[2] > 0.50  # still above 50% at 12,288 GPUs
+
+
+def test_12288_gpu_iteration_time_near_paper():
+    plan = plan_for_gpus(12288, tp=8, pp=8, vpp=6)
+    ms = IterationEngine(GPT_175B, plan, MEGASCALE).simulate(6144)
+    # Paper: 6.34 s; shape target within ~15%.
+    assert ms.iteration_time == pytest.approx(6.34, rel=0.15)
+
+
+def test_stage_speed_straggler_slows_iteration(engines):
+    clean = engines["megascale"].simulate(768)
+    speeds = [1.0] * 8
+    speeds[3] = 0.9  # one slow stage
+    slow = engines["megascale"].simulate(768, stage_speed=speeds)
+    assert slow.iteration_time > clean.iteration_time
+    # A single 10%-slow stage gates the whole synchronous pipeline.
+    assert slow.iteration_time > clean.iteration_time * 1.05
+
+
+def test_global_speed_factor(engines):
+    clean = engines["megascale"].simulate(768)
+    slow = engines["megascale"].simulate(768, speed_factor=0.9)
+    assert slow.pipeline_time == pytest.approx(clean.pipeline_time / 0.9, rel=0.01)
+
+
+def test_perturbation_adds_directly(engines):
+    base = engines["megascale"].simulate(768)
+    shifted = engines["megascale"].simulate(768, perturbation=0.5)
+    assert shifted.iteration_time == pytest.approx(base.iteration_time + 0.5)
+
+
+def test_bubble_fraction_shrinks_with_more_microbatches(engines):
+    small = engines["megascale"].simulate(256)  # m = 64
+    large = engines["megascale"].simulate(1024)  # m = 256
+    assert large.bubble_fraction < small.bubble_fraction
+
+
+def test_interleaving_reduces_bubbles():
+    plan_v1 = plan_for_gpus(256, tp=8, pp=8, vpp=1)
+    plan_v6 = PLAN_256
+    r1 = IterationEngine(GPT_175B, plan_v1, MEGASCALE).simulate(256)
+    r6 = IterationEngine(GPT_175B, plan_v6, MEGASCALE).simulate(256)
+    assert r6.bubble_fraction < r1.bubble_fraction
+
+
+def test_validation(engines):
+    with pytest.raises(ValueError):
+        engines["megascale"].simulate(768, speed_factor=0.0)
+    with pytest.raises(ValueError):
+        engines["megascale"].simulate(768, stage_speed=[1.0] * 3)
+    with pytest.raises(ValueError):
+        engines["megascale"].simulate(768, stage_speed=[0.0] * 8)
+    with pytest.raises(ValueError):
+        engines["megascale"].simulate(100)  # not divisible
+
+
+def test_result_breakdown_consistency(engines):
+    r = engines["megascale"].simulate(768)
+    assert r.iteration_time == pytest.approx(
+        r.data_stall + r.pipeline_time + r.dp_exposed + r.optimizer_time + r.perturbation
+    )
+    assert 0 < r.compute_time <= r.pipeline_time
+    assert r.tokens_per_second == pytest.approx(768 * 2048 / r.iteration_time)

@@ -1,0 +1,148 @@
+"""Tests for straggler models, perturbations, and the training runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.features import MEGASCALE, MEGATRON_LM
+from repro.model import GPT_13B
+from repro.parallel import ParallelPlan
+from repro.training import (
+    PerturbationModel,
+    RunResult,
+    StragglerModel,
+    TrainingRunner,
+    expected_job_slowdown,
+    mfu_consistency,
+)
+
+
+SMALL_PLAN = ParallelPlan(dp=2, tp=8, pp=2, vpp=2)  # 32 GPUs: fast tests
+
+
+def test_straggler_sampling_fraction():
+    model = StragglerModel(fraction=0.1, slowdown=0.9, rng=np.random.default_rng(0))
+    factors = model.sample_speed_factors(10_000)
+    slow = (factors < 1.0).mean()
+    assert 0.08 < slow < 0.12
+    assert set(np.unique(factors)) <= {0.9, 1.0}
+
+
+def test_job_speed_factor_is_min():
+    model = StragglerModel(fraction=1.0, slowdown=0.9)
+    assert model.job_speed_factor(5) == pytest.approx(0.9)
+    clean = StragglerModel(fraction=0.0)
+    assert clean.job_speed_factor(5) == 1.0
+
+
+def test_expected_job_slowdown_limits():
+    # Tiny cluster: almost surely clean.  Huge cluster: almost surely slow.
+    assert expected_job_slowdown(1) > 0.999 * 1.0 - 0.001
+    assert expected_job_slowdown(10_000) == pytest.approx(0.9, abs=0.001)
+    assert expected_job_slowdown(32) > expected_job_slowdown(1536)
+    with pytest.raises(ValueError):
+        expected_job_slowdown(0)
+
+
+def test_straggler_validation():
+    with pytest.raises(ValueError):
+        StragglerModel(fraction=1.5)
+    with pytest.raises(ValueError):
+        StragglerModel(slowdown=0.0)
+    with pytest.raises(ValueError):
+        StragglerModel().sample_speed_factors(0)
+
+
+def test_perturbation_clean_codepath_is_flat():
+    model = PerturbationModel(features=MEGASCALE, n_hosts=64)
+    early = model.iteration_overhead(step=0)
+    late = model.iteration_overhead(step=5000)
+    assert early == pytest.approx(late)
+    assert early < 0.01
+
+
+def test_perturbation_dirty_codepath_grows_with_steps():
+    model = PerturbationModel(features=MEGATRON_LM, n_hosts=64)
+    early = np.mean([model.iteration_overhead(step=s) for s in range(10)])
+    late = np.mean([model.iteration_overhead(step=s) for s in range(5000, 5010)])
+    assert late > early + 0.1  # drift accumulated (Figure 12 decline)
+
+
+def test_perturbation_validation():
+    with pytest.raises(ValueError):
+        PerturbationModel(features=MEGASCALE, n_hosts=0)
+
+
+def test_runner_produces_series():
+    runner = TrainingRunner(GPT_13B, SMALL_PLAN, MEGASCALE, global_batch=32)
+    result = runner.run(n_iterations=5)
+    assert len(result.mfu_series) == 5
+    assert all(0 < m < 1 for m in result.mfu_series)
+    assert result.mean_mfu > 0
+
+
+def test_runner_straggler_lottery_varies_across_trials():
+    runner = TrainingRunner(
+        GPT_13B,
+        SMALL_PLAN,
+        MEGATRON_LM,
+        global_batch=32,
+        straggler_model=StragglerModel(fraction=0.3, slowdown=0.9),
+        seed=3,
+    )
+    results = runner.run_trials(n_trials=8, n_iterations=3)
+    speeds = {r.speed_factor for r in results}
+    assert len(speeds) > 1  # some draws hit stragglers, some did not
+    assert mfu_consistency(results) > 0.0
+
+
+def test_eviction_restores_consistency():
+    kwargs = dict(
+        model=GPT_13B,
+        plan=SMALL_PLAN,
+        features=MEGASCALE,
+        global_batch=32,
+        straggler_model=StragglerModel(fraction=0.5, slowdown=0.9),
+        seed=11,
+    )
+    with_evict = TrainingRunner(evict_stragglers=True, **kwargs).run_trials(6, 3)
+    without = TrainingRunner(evict_stragglers=False, **kwargs).run_trials(6, 3)
+    assert mfu_consistency(with_evict) < mfu_consistency(without)
+    assert all(r.speed_factor == 1.0 for r in with_evict)
+
+
+def test_mfu_decline_with_dirty_code():
+    runner = TrainingRunner(GPT_13B, SMALL_PLAN, MEGATRON_LM, global_batch=32)
+    result = runner.run(n_iterations=60)
+    assert result.mfu_slope_per_100_steps() < 0  # decaying
+
+
+def test_mfu_flat_with_clean_code():
+    runner = TrainingRunner(GPT_13B, SMALL_PLAN, MEGASCALE, global_batch=32)
+    result = runner.run(n_iterations=60)
+    assert abs(result.mfu_slope_per_100_steps()) < 0.002
+
+
+def test_runner_deterministic_per_seed():
+    def one():
+        return TrainingRunner(
+            GPT_13B, SMALL_PLAN, MEGASCALE, global_batch=32, seed=5
+        ).run(4).mfu_series
+
+    assert one() == one()
+
+
+def test_runner_validation():
+    runner = TrainingRunner(GPT_13B, SMALL_PLAN, MEGASCALE, global_batch=32)
+    with pytest.raises(ValueError):
+        runner.run(0)
+    with pytest.raises(ValueError):
+        runner.run_trials(0, 1)
+    with pytest.raises(ValueError):
+        mfu_consistency([])
+
+
+def test_run_result_helpers():
+    r = RunResult(mfu_series=[0.5, 0.6, 0.4])
+    assert r.peak_mfu == 0.6
+    assert r.mean_mfu == pytest.approx(0.5)
+    assert RunResult().mean_mfu == 0.0

@@ -1,0 +1,153 @@
+"""Tests for sweep utilities, jobfiles, and trace export."""
+
+import json
+
+import pytest
+
+from repro import job_175b, megascale
+from repro.core.jobfile import job_from_dict, job_to_dict, load_job, save_job
+from repro.observability.export import (
+    dump_chrome_trace,
+    loads_round_trip,
+    span_to_event,
+    timeline_to_chrome_trace,
+)
+from repro.observability.timeline import DistributedTimeline
+from repro.sim import TraceRecorder
+from repro.training.sweeps import (
+    SweepResult,
+    batch_sweep,
+    single_system_sweep,
+    strong_scaling_sweep,
+    weak_scaling_sweep,
+)
+
+
+# -- sweeps --------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def strong():
+    return strong_scaling_sweep(job_175b(256, 768), gpu_counts=[256, 512, 1024])
+
+
+def test_strong_sweep_structure(strong):
+    assert strong.kind == "strong"
+    assert [p.n_gpus for p in strong.points] == [256, 512, 1024]
+    assert all(p.global_batch == 768 for p in strong.points)
+    assert strong.megascale_always_wins()
+
+
+def test_strong_sweep_mfu_declines(strong):
+    assert strong.mfu_drop("megascale") > 0
+    assert strong.mfu_drop("baseline") > 0
+    with pytest.raises(ValueError):
+        strong.mfu_series("other")
+
+
+def test_sweep_table_renders(strong):
+    table = strong.table()
+    assert "speedup" in table
+    assert "256" in table
+
+
+def test_weak_sweep_scales_batch():
+    sweep = weak_scaling_sweep(job_175b(256, 768), gpu_counts=[256, 512])
+    assert sweep.points[0].global_batch == 768
+    assert sweep.points[1].global_batch == 1536
+    assert sweep.kind == "weak"
+
+
+def test_batch_sweep():
+    sweep = batch_sweep(job_175b(256, 768), batches=[256, 768])
+    assert [p.global_batch for p in sweep.points] == [256, 768]
+    # Bigger batch amortizes fixed costs: higher MFU.
+    assert sweep.points[1].comparison.megascale.mfu > sweep.points[0].comparison.megascale.mfu
+
+
+def test_single_system_sweep():
+    mfus = single_system_sweep(megascale(), job_175b(256, 768), [256, 512])
+    assert len(mfus) == 2
+    assert all(0 < m < 1 for m in mfus)
+
+
+def test_empty_sweep_rejected():
+    with pytest.raises(ValueError):
+        SweepResult(kind="strong", points=[])
+
+
+# -- jobfiles ------------------------------------------------------------------
+
+
+def test_job_dict_round_trip():
+    job = job_175b(512, 768)
+    data = job_to_dict(job)
+    rebuilt = job_from_dict(data)
+    assert job_to_dict(rebuilt) == data
+
+
+def test_job_file_round_trip(tmp_path):
+    job = job_175b(1024, 768)
+    path = tmp_path / "job.json"
+    save_job(job, str(path))
+    loaded = load_job(str(path))
+    assert loaded.n_gpus == 1024
+    assert loaded.model_spec.name == "gpt-175b"
+    # The file is plain reviewable JSON.
+    assert json.loads(path.read_text())["tp"] == 8
+
+
+def test_job_from_json_string():
+    job = load_job('{"model": "gpt-13b", "n_gpus": 16, "global_batch": 64, "tp": 2, "pp": 2}')
+    assert job.model_spec.name == "gpt-13b"
+
+
+def test_job_dict_validation():
+    with pytest.raises(ValueError):
+        job_from_dict({"model": "gpt-175b", "n_gpus": 8})  # missing batch
+    with pytest.raises(ValueError):
+        job_from_dict({"model": "gpt-175b", "n_gpus": 8, "global_batch": 8, "color": "red"})
+    with pytest.raises(TypeError):
+        job_from_dict(["not", "a", "dict"])
+
+
+# -- chrome trace export ----------------------------------------------------------
+
+
+def make_trace():
+    trace = TraceRecorder()
+    trace.record("F", rank=0, start=0.0, end=1.0, stream="compute", microbatch=0)
+    trace.record("send", rank=0, start=1.0, end=1.1, stream="comm")
+    trace.record("F", rank=1, start=1.1, end=2.1, stream="compute", microbatch=0)
+    return trace
+
+
+def test_span_to_event_units():
+    trace = make_trace()
+    span = next(iter(trace))
+    event = span_to_event(span)
+    assert event["ph"] == "X"
+    assert event["ts"] == 0.0
+    assert event["dur"] == pytest.approx(1e6)  # microseconds
+    assert event["tid"] == 0
+    assert event["args"]["microbatch"] == 0
+
+
+def test_timeline_document_structure():
+    timeline = DistributedTimeline.from_trace(make_trace())
+    doc = timeline_to_chrome_trace(timeline, job_name="job-x")
+    assert doc["displayTimeUnit"] == "ms"
+    metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == 3
+    assert any(e["args"].get("name") == "job-x" for e in metadata)
+    # Document is JSON-serializable as-is.
+    assert loads_round_trip(doc)["displayTimeUnit"] == "ms"
+
+
+def test_dump_chrome_trace_file(tmp_path):
+    path = tmp_path / "trace.json"
+    count = dump_chrome_trace(make_trace(), str(path))
+    assert count > 3
+    loaded = json.loads(path.read_text())
+    assert "traceEvents" in loaded
