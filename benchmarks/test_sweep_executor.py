@@ -1,0 +1,47 @@
+"""Acceptance benchmark for the sweep-execution layer (``repro.exec``).
+
+An 8-point strong-scaling sweep is priced twice — serially and fanned
+out over 4 worker processes — and must agree bit-for-bit, with the
+memoized cost models reporting a nonzero hit rate.
+"""
+
+import time
+
+from conftest import print_banner
+
+from repro import job_175b
+from repro.training.sweeps import strong_scaling_sweep
+
+# Eight scales at fixed batch 768; each keeps the micro-batch count a
+# multiple of the 8 pipeline stages (the interleaving constraint).
+GPU_COUNTS = [256, 512, 768, 1024, 1536, 2048, 3072, 6144]
+
+
+def test_parallel_sweep_matches_serial_with_cache_reuse():
+    base = job_175b(256, 768)
+
+    t0 = time.time()
+    serial = strong_scaling_sweep(base, GPU_COUNTS, workers=0)
+    t_serial = time.time() - t0
+
+    t0 = time.time()
+    parallel = strong_scaling_sweep(base, GPU_COUNTS, workers=4)
+    t_parallel = time.time() - t0
+
+    print_banner("Sweep executor: 8-point strong scaling, serial vs 4 workers")
+    print(serial.table())
+    print()
+    print(f"serial   : {t_serial:.2f} s")
+    print(f"4 workers: {t_parallel:.2f} s")
+    print(serial.stats.describe())
+    print(parallel.stats.describe())
+
+    # Determinism: insertion-ordered merging makes the parallel sweep
+    # bit-for-bit identical to the serial one.
+    assert parallel.points == serial.points
+    assert parallel.table() == serial.table()
+
+    # Reuse: strong scaling varies only dp, so block costs (and the
+    # per-point megascale/baseline pair's optimizer steps) repeat.
+    assert serial.stats.hit_rate > 0
+    assert serial.stats.caches["block_cost"].hits > 0

@@ -52,17 +52,22 @@ def cmd_compare(args) -> int:
 
 def cmd_sweep(args) -> int:
     from .core import compare, job_175b
+    from .exec import run_tasks
 
-    print(f"{'GPUs':>6s} {'batch':>6s} {'Megatron':>9s} {'MegaScale':>10s} {'speedup':>8s}")
-    for gpus, batch in [
+    scales = [
         (256, 768), (512, 768), (768, 768), (1024, 768),
         (3072, 6144), (6144, 6144), (8192, 6144), (12288, 6144),
-    ]:
-        r = compare(job_175b(n_gpus=gpus, global_batch=batch))
+    ]
+    jobs = [job_175b(n_gpus=gpus, global_batch=batch) for gpus, batch in scales]
+    results, stats = run_tasks(compare, jobs, workers=args.workers)
+    print(f"{'GPUs':>6s} {'batch':>6s} {'Megatron':>9s} {'MegaScale':>10s} {'speedup':>8s}")
+    for (gpus, batch), r in zip(scales, results):
         print(
             f"{gpus:>6d} {batch:>6d} {r.baseline.mfu:>8.1%} {r.megascale.mfu:>9.1%} "
             f"{r.speedup:>7.2f}x"
         )
+    if args.stats:
+        print(stats.describe())
     return 0
 
 
@@ -123,6 +128,9 @@ def cmd_tune(args) -> int:
         n_gpus=args.gpus,
         global_batch=args.batch,
         top_k=args.top,
+        gpus_per_node=args.gpus_per_node,
+        max_micro_batch=args.max_micro_batch,
+        workers=args.workers,
     )
     for i, result in enumerate(results, 1):
         print(f"#{i}  {result.describe()}")
@@ -141,6 +149,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="Table 2 strong-scaling sweep")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes (0 = serial, the default)")
+    p.add_argument("--stats", action="store_true",
+                   help="print executor + cost-model cache statistics")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("ablation", help="Table 3 optimization ladder")
@@ -159,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("tune", help="auto-tune 3D parallelism")
     _add_job_args(p)
     p.add_argument("--top", type=int, default=5)
+    p.add_argument("--gpus-per-node", type=int, default=8,
+                   help="node size constraining tensor parallelism")
+    p.add_argument("--max-micro-batch", type=int, default=2,
+                   help="largest micro-batch size searched")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes for candidate evaluation (0 = serial)")
     p.set_defaults(func=cmd_tune)
 
     return parser

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec.memo import memoized
+
 
 def _check(size: float, n_ranks: int, bandwidth: float, latency: float) -> None:
     if size < 0:
@@ -98,6 +100,7 @@ _DISPATCH = {
 }
 
 
+@memoized("collective_cost")
 def collective_cost(
     kind: str, size: float, n_ranks: int, bandwidth: float, latency: float = 0.0
 ) -> CollectiveCost:

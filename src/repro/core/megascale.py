@@ -38,7 +38,11 @@ class TrainingSystem:
     _engines: dict = field(default_factory=dict, repr=False)
 
     def _engine(self, job: TrainingJob) -> IterationEngine:
-        key = (job.model_spec.name, job.n_gpus, job.tp, job.pp, job.vpp, job.micro_batch)
+        # Key on the full (model, plan, gpu) identity.  The engine's
+        # timings depend on every plan field (zero_stage, recompute,
+        # sequence_parallel, ...) and on the GPU spec, so a narrower key
+        # would hand back a stale engine for jobs differing only there.
+        key = (job.model_spec, job.plan(), job.gpu_spec)
         engine = self._engines.get(key)
         if engine is None:
             engine = IterationEngine(

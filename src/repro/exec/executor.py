@@ -1,0 +1,100 @@
+"""Parallel sweep execution over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+A sweep is an ordered list of independent pricing tasks (one per
+(model, plan, feature-set) point).  :func:`run_tasks` fans them out over
+worker processes and merges results **in insertion order**, so the output
+is deterministic and bit-for-bit identical to the serial path — the cost
+models are pure, and ordering is the only other source of divergence.
+
+``workers=0`` (the default everywhere) runs serially in-process: no
+pickling requirements, no process startup, and exact reproducibility for
+tests.  ``workers>0`` requires ``fn`` and the items to be picklable
+(module-level functions, ``functools.partial`` of them, and the repro
+dataclasses all are).
+
+Either way the call returns ``(results, SweepStats)``: counters of the
+memoized cost models (:mod:`repro.exec.memo`) are snapshotted around each
+task, and the per-task deltas are summed across processes, so the report
+reflects exactly the reuse this sweep achieved.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+from .memo import Snapshot, cache_delta, cache_snapshot, merge_deltas
+from .stats import SweepStats
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def _call_with_stats(fn: Callable[[T], R], item: T) -> Tuple[R, Snapshot]:
+    """Run one task and return (result, cache-counter delta).
+
+    Top-level so it pickles; executed inside the worker process, where a
+    task runs alone on the process's single task thread, so the
+    before/after snapshot delta is attributable to this task.
+    """
+    before = cache_snapshot()
+    result = fn(item)
+    return result, cache_delta(before, cache_snapshot())
+
+
+@dataclass(frozen=True)
+class SweepExecutor:
+    """Maps a pricing function over sweep points, serially or in processes.
+
+    ``workers=0`` is the serial in-process path; ``workers=n`` fans out
+    over an ``n``-process pool.  Results always come back in the items'
+    insertion order.
+    """
+
+    workers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+
+    def map(
+        self, fn: Callable[[T], R], items: Iterable[T]
+    ) -> Tuple[List[R], SweepStats]:
+        """``([fn(x) for x in items], SweepStats)``, possibly in parallel."""
+        todo: Sequence[T] = list(items)
+        if not todo:
+            return [], SweepStats(n_tasks=0, workers=self.workers)
+        if self.workers == 0:
+            return self._map_serial(fn, todo)
+        return self._map_parallel(fn, todo)
+
+    def _map_serial(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Tuple[List[R], SweepStats]:
+        before = cache_snapshot()
+        results = [fn(item) for item in items]
+        delta = cache_delta(before, cache_snapshot())
+        return results, SweepStats.from_counters(delta, len(items), workers=0)
+
+    def _map_parallel(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Tuple[List[R], SweepStats]:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures = [pool.submit(_call_with_stats, fn, item) for item in items]
+            # Collect in submission order, not completion order: the
+            # merge is deterministic regardless of worker scheduling.
+            outcomes = [f.result() for f in futures]
+        results = [result for result, _ in outcomes]
+        counters = merge_deltas([delta for _, delta in outcomes])
+        return results, SweepStats.from_counters(counters, len(items), self.workers)
+
+
+def run_tasks(
+    fn: Callable[[T], R], items: Iterable[T], workers: int = 0
+) -> Tuple[List[R], SweepStats]:
+    """Functional shorthand for ``SweepExecutor(workers).map(fn, items)``."""
+    return SweepExecutor(workers=workers).map(fn, items)
+
+
+__all__ = ["SweepExecutor", "run_tasks"]

@@ -1,0 +1,147 @@
+"""Process-local memoization for the pure cost models.
+
+The expensive sub-models priced during a sweep — transformer block costs,
+collective times, optimizer step times — are pure functions of their
+arguments, and the same argument tuples recur across sweep points (a
+strong-scaling sweep changes only ``dp``; the block cost depends on
+neither).  Decorating them with :func:`memoized` makes that reuse free
+and *observable*: every cache keeps hit/miss counters that the sweep
+executor snapshots into a :class:`~repro.exec.stats.SweepStats` report.
+
+Caches are process-local by design.  Worker processes of the sweep
+executor each build (or, under ``fork``, inherit) their own cache; the
+executor merges per-task counter deltas back into one report.  Because
+the memoized functions are pure, caching never changes results — serial
+and parallel sweeps stay bit-for-bit identical.
+
+This module must stay dependency-free within ``repro`` (the cost-model
+modules import it at definition time).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, Tuple, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+class MemoCache:
+    """One named memoization cache with hit/miss counters."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.store: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+    def clear(self) -> None:
+        """Drop entries; counters are kept (they describe past calls)."""
+        self.store.clear()
+
+    def reset(self) -> None:
+        """Drop entries *and* zero the counters."""
+        self.store.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+# Registry of every cache created via @memoized, keyed by name.
+_REGISTRY: Dict[str, MemoCache] = {}
+
+
+def get_cache(name: str) -> MemoCache:
+    """The cache registered under ``name`` (created on first use)."""
+    cache = _REGISTRY.get(name)
+    if cache is None:
+        cache = _REGISTRY[name] = MemoCache(name)
+    return cache
+
+
+def registered_caches() -> Dict[str, MemoCache]:
+    """A live view of all registered caches, by name."""
+    return dict(_REGISTRY)
+
+
+def memoized(name: str) -> Callable[[F], F]:
+    """Memoize a pure function under a named, inspectable cache.
+
+    The key is the full positional + keyword argument tuple; unhashable
+    arguments fall through to a plain call (counted as a miss) so the
+    decorator never changes semantics.  The wrapped function gains a
+    ``cache`` attribute (its :class:`MemoCache`) and a
+    ``__wrapped__`` attribute (the raw function).
+    """
+
+    def decorate(fn: F) -> F:
+        cache = get_cache(name)
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            key = args if not kwargs else (args, tuple(sorted(kwargs.items())))
+            try:
+                hit = key in cache.store
+            except TypeError:  # unhashable argument: bypass the cache
+                cache.misses += 1
+                return fn(*args, **kwargs)
+            if hit:
+                cache.hits += 1
+                return cache.store[key]
+            cache.misses += 1
+            value = fn(*args, **kwargs)
+            cache.store[key] = value
+            return value
+
+        wrapper.cache = cache  # type: ignore[attr-defined]
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+# -- counter snapshots (used by the sweep executor) ---------------------------
+
+Snapshot = Dict[str, Tuple[int, int]]  # name -> (hits, misses)
+
+
+def cache_snapshot() -> Snapshot:
+    """Current (hits, misses) of every registered cache."""
+    return {name: (c.hits, c.misses) for name, c in _REGISTRY.items()}
+
+
+def cache_delta(before: Snapshot, after: Snapshot) -> Snapshot:
+    """Counter growth between two snapshots (missing names count from 0)."""
+    delta: Snapshot = {}
+    for name, (hits, misses) in after.items():
+        h0, m0 = before.get(name, (0, 0))
+        delta[name] = (hits - h0, misses - m0)
+    return delta
+
+
+def merge_deltas(deltas: Tuple[Snapshot, ...] | list) -> Snapshot:
+    """Sum counter deltas from independent tasks/processes."""
+    total: Dict[str, Tuple[int, int]] = {}
+    for delta in deltas:
+        for name, (hits, misses) in delta.items():
+            h0, m0 = total.get(name, (0, 0))
+            total[name] = (h0 + hits, m0 + misses)
+    return total
+
+
+def clear_caches() -> None:
+    """Drop all cached entries (counters survive)."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def reset_caches() -> None:
+    """Drop all cached entries and zero all counters."""
+    for cache in _REGISTRY.values():
+        cache.reset()

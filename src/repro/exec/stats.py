@@ -1,0 +1,82 @@
+"""Execution statistics for sweep runs: the ``SweepStats`` report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class CacheReport:
+    """Hit/miss counts of one cost-model cache over one sweep."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """How a sweep executed: task fan-out and cost-model cache reuse.
+
+    ``caches`` maps cache name (e.g. ``"block_cost"``) to the hit/miss
+    counts accumulated *by this sweep's tasks only* — the executor
+    snapshots counters around each task, so concurrent or prior users of
+    the caches don't pollute the report.
+    """
+
+    n_tasks: int
+    workers: int  # 0 means the serial in-process path
+    caches: Dict[str, CacheReport] = field(default_factory=dict)
+
+    @property
+    def hits(self) -> int:
+        return sum(c.hits for c in self.caches.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(c.misses for c in self.caches.values())
+
+    @property
+    def calls(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Aggregate cost-model cache hit rate across all caches."""
+        return self.hits / self.calls if self.calls else 0.0
+
+    def describe(self) -> str:
+        mode = "serial" if self.workers == 0 else f"{self.workers} workers"
+        lines = [
+            f"sweep: {self.n_tasks} tasks ({mode}), "
+            f"cost-model cache hit rate {self.hit_rate:.1%} "
+            f"({self.hits}/{self.calls} calls)"
+        ]
+        for name in sorted(self.caches):
+            c = self.caches[name]
+            lines.append(
+                f"  {name:<20s} {c.hits:>6d} hits {c.misses:>6d} misses "
+                f"({c.hit_rate:.1%})"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def from_counters(
+        counters: Mapping[str, Tuple[int, int]], n_tasks: int, workers: int
+    ) -> "SweepStats":
+        """Build a report from ``{name: (hits, misses)}`` counter deltas."""
+        return SweepStats(
+            n_tasks=n_tasks,
+            workers=workers,
+            caches={
+                name: CacheReport(hits=h, misses=m) for name, (h, m) in counters.items()
+            },
+        )

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..collectives.primitives import ring_all_gather
+from ..exec.memo import memoized
 from ..hardware.gpu import GpuSpec
 from .operators import (
     BYTES_PER_ELEMENT,
@@ -89,6 +90,7 @@ def tp_collective_time(model: ModelSpec, gpu: GpuSpec, tp: int, micro_batch: int
     return ring_all_gather(size, tp, gpu.nvlink_bandwidth, NVLINK_STEP_LATENCY)
 
 
+@memoized("block_cost")
 def block_cost(
     model: ModelSpec,
     gpu: GpuSpec,

@@ -90,6 +90,25 @@ def feasible(model: ModelSpec, plan: ParallelPlan, gpu: GpuSpec, global_batch: i
     )
 
 
+def evaluate_plan(
+    plan: ParallelPlan,
+    model: ModelSpec,
+    features: FeatureSet,
+    gpu: GpuSpec,
+    global_batch: int,
+) -> TunedPlan:
+    """Price one candidate with the iteration engine.
+
+    Module-level (not a closure) so the sweep executor can ship it to
+    worker processes.
+    """
+    from ..training.iteration import IterationEngine  # avoid import cycle
+
+    engine = IterationEngine(model, plan, features, gpu=gpu)
+    outcome = engine.simulate(global_batch)
+    return TunedPlan(plan=plan, mfu=outcome.mfu, iteration_time=outcome.iteration_time)
+
+
 def tune(
     model: ModelSpec,
     n_gpus: int,
@@ -99,20 +118,31 @@ def tune(
     top_k: int = 5,
     max_candidates: Optional[int] = 64,
     pp_limit: int = 64,
+    gpus_per_node: int = 8,
+    max_micro_batch: int = 2,
+    workers: int = 0,
 ) -> List[TunedPlan]:
     """Evaluate feasible plans and return the ``top_k`` by MFU.
 
     ``max_candidates`` caps engine evaluations (candidates are screened
     cheapest-first by model-parallel size, which correlates with lower
     communication); ``pp_limit`` bounds the pipeline depth searched.
+    ``gpus_per_node`` and ``max_micro_batch`` widen or narrow the search
+    space itself (they are forwarded to :func:`candidate_plans`).
+    ``workers`` fans candidate evaluation out over worker processes via
+    :mod:`repro.exec`; the ranking is deterministic either way.
     """
-    from ..training.iteration import IterationEngine  # avoid import cycle
+    import functools
+
+    from ..exec import run_tasks
 
     if top_k < 1:
         raise ValueError("top_k must be >= 1")
     screened = [
         plan
-        for plan in candidate_plans(model, n_gpus)
+        for plan in candidate_plans(
+            model, n_gpus, gpus_per_node=gpus_per_node, max_micro_batch=max_micro_batch
+        )
         if plan.pp <= pp_limit and feasible(model, plan, gpu, global_batch)
     ]
     if not screened:
@@ -125,12 +155,11 @@ def tune(
     if max_candidates is not None:
         screened = screened[:max_candidates]
 
-    results = []
-    for plan in screened:
-        engine = IterationEngine(model, plan, features, gpu=gpu)
-        outcome = engine.simulate(global_batch)
-        results.append(
-            TunedPlan(plan=plan, mfu=outcome.mfu, iteration_time=outcome.iteration_time)
-        )
+    price = functools.partial(
+        evaluate_plan, model=model, features=features, gpu=gpu, global_batch=global_batch
+    )
+    results, _stats = run_tasks(price, screened, workers=workers)
+    # Stable sort over the insertion-ordered results: ties rank the same
+    # whether evaluated serially or in parallel.
     results.sort(key=lambda t: -t.mfu)
     return results[:top_k]

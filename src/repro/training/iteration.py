@@ -241,6 +241,28 @@ class IterationEngine:
             return not (stage == p - 1 and chunk == v - 1)  # loss stays local
         return not (stage == 0 and chunk == 0)  # grads of the first chunk stay
 
+    def pp_send_counts(self, m: int) -> list:
+        """Pipeline sends each stage's NIC carries per iteration.
+
+        Derived from :meth:`_task_sends` so the accounting matches the
+        executed schedule exactly: the last stage's final forward chunk
+        and the first stage's first backward chunk never leave the GPU,
+        so edge stages send fewer than ``2 * m * vpp`` activations.
+        """
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        p, v = self.plan.pp, self.plan.vpp
+        return [
+            m
+            * sum(
+                1
+                for kind in ("F", "B")
+                for chunk in range(v)
+                if self._task_sends(stage, kind, chunk)
+            )
+            for stage in range(p)
+        ]
+
     # -- full iteration ------------------------------------------------------------
 
     def simulate(
@@ -275,7 +297,12 @@ class IterationEngine:
         # carrying pipeline p2p transfers; if the pipeline phase is too
         # short to absorb both, the excess surfaces on the critical path.
         hidden = dp.total_comm - dp.exposed
-        pp_sends = 2 * m * plan.vpp  # one send per F and per B task
+        # Each rank's NIC carries the pp sends of its own stage, and a DP
+        # collective is gated by the busiest NIC in its (per-stage) ring —
+        # so budget against the stage with the most actual sends.  Not
+        # every F/B task sends (see _task_sends), so this is strictly
+        # fewer than the naive 2*m*vpp when pp <= 2.
+        pp_sends = max(self.pp_send_counts(m)) if plan.pp > 1 else 0
         pp_nic_time = pp_sends * self.p2p_time if plan.pp > 1 else 0.0
         nic_budget = max(0.0, pipeline - pp_nic_time)
         spill = max(0.0, hidden - nic_budget)

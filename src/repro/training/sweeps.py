@@ -7,12 +7,13 @@ GPUs), weak scaling (batch proportional to GPUs), and batch sweeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 from ..core.config import TrainingJob
 from ..core.megascale import TrainingSystem, compare
 from ..core.report import Comparison
+from ..exec import SweepStats, run_tasks
 
 
 @dataclass(frozen=True)
@@ -30,10 +31,16 @@ class SweepPoint:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """An ordered collection of sweep points with summary queries."""
+    """An ordered collection of sweep points with summary queries.
+
+    ``stats`` reports how the sweep executed (worker fan-out, cost-model
+    cache reuse); it is excluded from equality so a parallel sweep
+    compares equal to its serial twin point-for-point.
+    """
 
     kind: str  # "strong" | "weak" | "batch"
     points: List[SweepPoint]
+    stats: Optional[SweepStats] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not self.points:
@@ -67,17 +74,40 @@ class SweepResult:
         return "\n".join(lines)
 
 
+def _run_comparison_sweep(
+    kind: str,
+    jobs: Sequence[TrainingJob],
+    batches: Sequence[int],
+    compare_fn: Callable[[TrainingJob], Comparison],
+    workers: int,
+) -> SweepResult:
+    """Price ``jobs`` through the sweep executor and assemble the result.
+
+    Results merge in insertion order, so point ``i`` always pairs with
+    job ``i`` regardless of worker scheduling.
+    """
+    comparisons, stats = run_tasks(compare_fn, jobs, workers=workers)
+    points = [
+        SweepPoint(job.n_gpus, batch, comparison)
+        for job, batch, comparison in zip(jobs, batches, comparisons)
+    ]
+    return SweepResult(kind=kind, points=points, stats=stats)
+
+
 def strong_scaling_sweep(
     base_job: TrainingJob,
     gpu_counts: Sequence[int],
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
+    workers: int = 0,
 ) -> SweepResult:
-    """Fixed global batch across growing GPU counts (Table 2's regime)."""
-    points = [
-        SweepPoint(n, base_job.global_batch, compare_fn(base_job.scaled_to(n)))
-        for n in gpu_counts
-    ]
-    return SweepResult(kind="strong", points=points)
+    """Fixed global batch across growing GPU counts (Table 2's regime).
+
+    ``workers`` fans points out over worker processes (see
+    :mod:`repro.exec`); 0 keeps the exact serial path.
+    """
+    jobs = [base_job.scaled_to(n) for n in gpu_counts]
+    batches = [base_job.global_batch] * len(jobs)
+    return _run_comparison_sweep("strong", jobs, batches, compare_fn, workers)
 
 
 def weak_scaling_sweep(
@@ -85,6 +115,7 @@ def weak_scaling_sweep(
     gpu_counts: Sequence[int],
     batch_per_gpu: Optional[float] = None,
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
+    workers: int = 0,
 ) -> SweepResult:
     """Batch proportional to GPU count (Figure 9's regime)."""
     ratio = (
@@ -92,30 +123,29 @@ def weak_scaling_sweep(
         if batch_per_gpu is not None
         else base_job.global_batch / base_job.n_gpus
     )
-    points = []
-    for n in gpu_counts:
-        batch = max(1, round(n * ratio))
-        points.append(SweepPoint(n, batch, compare_fn(base_job.scaled_to(n, batch))))
-    return SweepResult(kind="weak", points=points)
+    batches = [max(1, round(n * ratio)) for n in gpu_counts]
+    jobs = [base_job.scaled_to(n, b) for n, b in zip(gpu_counts, batches)]
+    return _run_comparison_sweep("weak", jobs, batches, compare_fn, workers)
 
 
 def batch_sweep(
     base_job: TrainingJob,
     batches: Sequence[int],
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
+    workers: int = 0,
 ) -> SweepResult:
     """Fixed GPUs, varying global batch (the LAMB scaling axis)."""
-    points = [
-        SweepPoint(base_job.n_gpus, b, compare_fn(base_job.scaled_to(base_job.n_gpus, b)))
-        for b in batches
-    ]
-    return SweepResult(kind="batch", points=points)
+    jobs = [base_job.scaled_to(base_job.n_gpus, b) for b in batches]
+    return _run_comparison_sweep("batch", jobs, list(batches), compare_fn, workers)
 
 
 def single_system_sweep(
     system: TrainingSystem,
     base_job: TrainingJob,
     gpu_counts: Sequence[int],
+    workers: int = 0,
 ) -> List[float]:
     """MFU of one system across scales (no baseline run)."""
-    return [system.run(base_job.scaled_to(n)).mfu for n in gpu_counts]
+    jobs = [base_job.scaled_to(n) for n in gpu_counts]
+    reports, _stats = run_tasks(system.run, jobs, workers=workers)
+    return [r.mfu for r in reports]

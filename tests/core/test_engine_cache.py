@@ -1,0 +1,45 @@
+"""Regression tests: TrainingSystem's engine cache must key on the full
+(model, plan, gpu) identity.
+
+The original cache keyed only on (model name, n_gpus, tp, pp, vpp,
+micro_batch), so two jobs differing only in GPU spec or ZeRO stage
+silently reused a stale IterationEngine and returned the first job's
+timings for both.
+"""
+
+from dataclasses import replace
+
+from repro import TrainingJob, megascale
+
+
+def _job(**overrides) -> TrainingJob:
+    base = TrainingJob(
+        model="gpt-13b", n_gpus=16, global_batch=64, tp=2, pp=2, vpp=1
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+def test_engine_cache_distinguishes_gpu_specs():
+    system = megascale()
+    on_ampere = system.run(_job(gpu="ampere-80g"))
+    on_hopper = system.run(_job(gpu="hopper-80g"))
+    # A Hopper part is ~3x faster; identical timings mean a stale engine.
+    assert on_hopper.iteration_time < on_ampere.iteration_time
+    assert len(system._engines) == 2
+
+
+def test_engine_cache_distinguishes_zero_stage():
+    system = megascale()
+    sharded = system.run(_job(zero_stage=2))
+    unsharded = system.run(_job(zero_stage=0))
+    # ZeRO shards the optimizer state across dp: a faster optimizer step.
+    assert sharded.details.optimizer_time < unsharded.details.optimizer_time
+    assert len(system._engines) == 2
+
+
+def test_engine_cache_still_reuses_identical_jobs():
+    system = megascale()
+    a = system.run(_job())
+    b = system.run(_job())  # a distinct but equal TrainingJob instance
+    assert a.iteration_time == b.iteration_time
+    assert len(system._engines) == 1

@@ -1,0 +1,58 @@
+"""Tests for the sweep executor: ordering, determinism, stats plumbing."""
+
+import pytest
+
+from repro import compare, job_175b
+from repro.exec import SweepExecutor, run_tasks
+
+
+def _square(x):
+    return x * x
+
+
+def test_serial_map_preserves_order():
+    results, stats = run_tasks(_square, [3, 1, 2], workers=0)
+    assert results == [9, 1, 4]
+    assert stats.n_tasks == 3 and stats.workers == 0
+
+
+def test_parallel_map_matches_serial_order():
+    items = list(range(8))
+    serial, _ = run_tasks(_square, items, workers=0)
+    parallel, stats = run_tasks(_square, items, workers=3)
+    assert parallel == serial  # insertion-ordered merge
+    assert stats.workers == 3 and stats.n_tasks == 8
+
+
+def test_empty_items():
+    results, stats = run_tasks(_square, [], workers=2)
+    assert results == [] and stats.n_tasks == 0
+
+
+def test_negative_workers_rejected():
+    with pytest.raises(ValueError):
+        SweepExecutor(workers=-1)
+
+
+def test_executor_map_equivalent_to_run_tasks():
+    a, _ = SweepExecutor(workers=0).map(_square, [4, 5])
+    b, _ = run_tasks(_square, [4, 5])
+    assert a == b == [16, 25]
+
+
+def test_parallel_compare_bit_for_bit_identical():
+    """Pricing real jobs through worker processes is deterministic."""
+    jobs = [job_175b(n, 768) for n in (256, 512)]
+    serial, _ = run_tasks(compare, jobs, workers=0)
+    parallel, _ = run_tasks(compare, jobs, workers=2)
+    assert parallel == serial
+
+
+def test_serial_sweep_records_cost_model_reuse():
+    """Repeated points share block/optimizer cost-model evaluations."""
+    jobs = [job_175b(256, 768), job_175b(512, 768)]
+    _, stats = run_tasks(compare, jobs, workers=0)
+    assert stats.calls > 0
+    # The second point re-uses the first point's block costs (the block
+    # cost does not depend on dp), so some hits are guaranteed.
+    assert stats.hits > 0

@@ -1,0 +1,114 @@
+"""Tests for the cost-model memoization layer."""
+
+import pytest
+
+from repro.exec import CacheReport, SweepStats, get_cache, memoized
+from repro.exec.memo import cache_delta, cache_snapshot, merge_deltas
+from repro.hardware import AMPERE
+from repro.model import GPT_13B
+from repro.model.blocks import block_cost
+from repro.parallel import ParallelPlan
+from repro.parallel.zero import optimizer_step_time
+
+
+def test_memoized_hits_on_repeat_call():
+    calls = []
+
+    @memoized("test-dummy-counting")
+    def slow_double(x):
+        calls.append(x)
+        return 2 * x
+
+    assert slow_double(21) == 42
+    assert slow_double(21) == 42
+    assert calls == [21]  # second call served from cache
+    cache = get_cache("test-dummy-counting")
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_memoized_distinguishes_kwargs():
+    @memoized("test-dummy-kwargs")
+    def f(a, b=1):
+        return (a, b)
+
+    assert f(1, b=2) == (1, 2)
+    assert f(1, b=3) == (1, 3)
+    assert get_cache("test-dummy-kwargs").misses == 2
+
+
+def test_memoized_bypasses_unhashable_arguments():
+    @memoized("test-dummy-unhashable")
+    def total(xs):
+        return sum(xs)
+
+    assert total([1, 2, 3]) == 6
+    assert total([1, 2, 3]) == 6  # lists are unhashable: plain calls
+    cache = get_cache("test-dummy-unhashable")
+    assert cache.hits == 0 and cache.misses == 2
+
+
+def test_block_cost_is_memoized():
+    cache = block_cost.cache
+    model = GPT_13B.with_options(seq_len=1024)  # unique key for this test
+    before = (cache.hits, cache.misses)
+    a = block_cost(model, AMPERE, tp=2, micro_batch=1)
+    b = block_cost(model, AMPERE, tp=2, micro_batch=1)
+    assert a is b  # the literal cached object
+    assert cache.hits == before[0] + 1
+    assert cache.misses == before[1] + 1
+
+
+def test_optimizer_step_time_is_memoized():
+    cache = optimizer_step_time.cache
+    plan = ParallelPlan(dp=2, tp=2, pp=2, zero_stage=1)
+    before = (cache.hits, cache.misses)
+    t1 = optimizer_step_time(GPT_13B, plan, 1.9e12)
+    t2 = optimizer_step_time(GPT_13B, plan, 1.9e12)
+    assert t1 == t2 > 0
+    assert cache.hits == before[0] + 1
+
+
+def test_snapshot_delta_and_merge():
+    @memoized("test-dummy-delta")
+    def f(x):
+        return x
+
+    before = cache_snapshot()
+    f(1)
+    f(1)
+    delta = cache_delta(before, cache_snapshot())
+    assert delta["test-dummy-delta"] == (1, 1)
+    assert merge_deltas([delta, delta])["test-dummy-delta"] == (2, 2)
+
+
+def test_clear_keeps_counters_reset_zeroes_them():
+    @memoized("test-dummy-clear")
+    def f(x):
+        return x
+
+    f(5), f(5)
+    cache = get_cache("test-dummy-clear")
+    cache.clear()
+    assert cache.hits == 1 and not cache.store
+    f(5)  # re-miss after clear
+    assert cache.misses == 2
+    cache.reset()
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_sweep_stats_report():
+    stats = SweepStats.from_counters(
+        {"block_cost": (6, 2), "collective_cost": (0, 0)}, n_tasks=4, workers=0
+    )
+    assert stats.hits == 6 and stats.misses == 2
+    assert stats.hit_rate == pytest.approx(0.75)
+    assert stats.caches["block_cost"] == CacheReport(hits=6, misses=2)
+    text = stats.describe()
+    assert "4 tasks" in text and "serial" in text and "block_cost" in text
+
+
+def test_sweep_stats_empty_is_safe():
+    stats = SweepStats(n_tasks=0, workers=3)
+    assert stats.hit_rate == 0.0
+    assert "3 workers" in stats.describe()

@@ -73,3 +73,40 @@ def test_tune_validation():
     with pytest.raises(ValueError):
         # No feasible plan: 175B on a single GPU.
         tune(GPT_175B, n_gpus=1, global_batch=1)
+
+
+# -- search-space knobs (gpus_per_node, max_micro_batch) -----------------------
+
+
+def test_candidate_plans_respect_max_micro_batch():
+    widened = {p.micro_batch for p in candidate_plans(GPT_13B, 16, max_micro_batch=4)}
+    assert widened == {1, 2, 3, 4}
+    default = {p.micro_batch for p in candidate_plans(GPT_13B, 16)}
+    assert default == {1, 2}
+
+
+def test_candidate_plans_respect_gpus_per_node():
+    tps = {p.tp for p in candidate_plans(GPT_13B, 16, gpus_per_node=4)}
+    assert max(tps) <= 4
+
+
+def test_tune_plumbs_max_micro_batch_through():
+    # Regression: tune() used to call candidate_plans with hard-coded
+    # defaults, silently ignoring wider micro-batch searches.
+    results = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=10, max_micro_batch=4)
+    assert any(r.plan.micro_batch == 4 for r in results)
+    narrow = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=10)
+    assert all(r.plan.micro_batch <= 2 for r in narrow)
+
+
+def test_tune_plumbs_gpus_per_node_through():
+    results = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=10, gpus_per_node=4)
+    assert all(r.plan.tp <= 4 for r in results)
+
+
+def test_tune_parallel_matches_serial():
+    serial = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5, max_candidates=12)
+    parallel = tune(
+        GPT_13B, n_gpus=16, global_batch=64, top_k=5, max_candidates=12, workers=2
+    )
+    assert parallel == serial

@@ -147,3 +147,51 @@ def test_result_breakdown_consistency(engines):
     )
     assert 0 < r.compute_time <= r.pipeline_time
     assert r.tokens_per_second == pytest.approx(768 * 2048 / r.iteration_time)
+
+
+# -- pipeline NIC send accounting ------------------------------------------------
+
+
+def test_pp_send_counts_exclude_edge_chunks(engines):
+    # pp=8, vpp=6: the last stage's final forward chunk and the first
+    # stage's first backward chunk never hit the NIC.
+    engine = engines["megascale"]
+    m = 4
+    counts = engine.pp_send_counts(m)
+    assert len(counts) == 8
+    assert counts[0] == m * (2 * 6 - 1)  # first stage keeps one B chunk
+    assert counts[-1] == m * (2 * 6 - 1)  # last stage keeps one F chunk
+    assert all(c == m * 2 * 6 for c in counts[1:-1])  # middle stages send all
+    # Total sends across the pipeline: every task minus the two locals.
+    assert sum(counts) == 2 * m * (8 * 6 - 1)
+
+
+def test_pp_send_counts_match_task_sends_predicate(engines):
+    engine = engines["megascale"]
+    m = 3
+    brute = [
+        m
+        * sum(
+            engine._task_sends(s, kind, c)
+            for kind in ("F", "B")
+            for c in range(engine.plan.vpp)
+        )
+        for s in range(engine.plan.pp)
+    ]
+    assert engine.pp_send_counts(m) == brute
+    with pytest.raises(ValueError):
+        engine.pp_send_counts(0)
+
+
+def test_two_stage_pipeline_not_overcounted():
+    # Regression: the old accounting charged 2*m*vpp sends to every rank;
+    # in a 2-stage pipeline each rank actually sends 2*vpp - 1 per
+    # micro-batch, so the NIC budget was underestimated.
+    plan = plan_for_gpus(128, tp=8, pp=2, vpp=2)
+    engine = IterationEngine(GPT_175B, plan, MEGASCALE)
+    m = 8
+    counts = engine.pp_send_counts(m)
+    assert counts == [m * 3, m * 3]
+    assert max(counts) < 2 * m * plan.vpp
+    # The engine still prices the config end to end.
+    assert engine.simulate(64).iteration_time > 0

@@ -76,6 +76,49 @@ def test_empty_sweep_rejected():
         SweepResult(kind="strong", points=[])
 
 
+# -- parallel execution (repro.exec) -------------------------------------------
+
+
+def test_parallel_strong_sweep_identical_to_serial():
+    """workers=4 output equals the serial sweep bit-for-bit."""
+    base = job_175b(256, 768)
+    counts = [256, 512, 768, 1024]
+    serial = strong_scaling_sweep(base, counts, workers=0)
+    parallel = strong_scaling_sweep(base, counts, workers=4)
+    assert parallel.points == serial.points  # exact float equality
+    assert parallel.table() == serial.table()
+    assert parallel == serial  # stats are excluded from equality
+    assert parallel.stats.workers == 4 and serial.stats.workers == 0
+
+
+def test_parallel_weak_and_batch_sweeps_identical_to_serial():
+    base = job_175b(256, 768)
+    assert weak_scaling_sweep(base, [256, 512], workers=2).points == (
+        weak_scaling_sweep(base, [256, 512]).points
+    )
+    assert batch_sweep(base, [256, 768], workers=2).points == (
+        batch_sweep(base, [256, 768]).points
+    )
+
+
+def test_sweep_stats_show_cost_model_reuse():
+    sweep = strong_scaling_sweep(job_175b(256, 768), [256, 512, 1024])
+    stats = sweep.stats
+    assert stats is not None and stats.n_tasks == 3
+    # Strong scaling varies only dp; block costs repeat across points.
+    assert stats.caches["block_cost"].hits > 0
+    assert stats.hit_rate > 0
+    assert "tasks" in stats.describe()
+
+
+def test_single_system_sweep_parallel_matches_serial():
+    mfus_serial = single_system_sweep(megascale(), job_175b(256, 768), [256, 512])
+    mfus_parallel = single_system_sweep(
+        megascale(), job_175b(256, 768), [256, 512], workers=2
+    )
+    assert mfus_parallel == mfus_serial
+
+
 # -- jobfiles ------------------------------------------------------------------
 
 
