@@ -104,18 +104,35 @@ def cmd_production(args) -> int:
 
     plan = plan_for_gpus(args.gpus, tp=args.tp, pp=args.pp, vpp=args.vpp)
     model = MODEL_CATALOG[args.model]
-    injector = FaultInjector(n_nodes=max(1, args.gpus // 8), rng=np.random.default_rng(args.seed))
+    n_nodes = max(1, args.gpus // 8)
+    cluster = None
+    integrity = None
+    if args.correlated:
+        from .fault import FLAKY_HDFS, CorrelatedFaultInjector
+        from .hardware import Cluster
+
+        injector = CorrelatedFaultInjector(n_nodes=n_nodes, rng=np.random.default_rng(args.seed))
+        cluster = Cluster.build(n_nodes=n_nodes, n_spares=args.spares)
+        integrity = FLAKY_HDFS
+    else:
+        injector = FaultInjector(n_nodes=n_nodes, rng=np.random.default_rng(args.seed))
     run = ProductionRun(
         plan,
         injector,
         planner=CheckpointPlanner(model=model, plan=plan),
         rng=np.random.default_rng(args.seed),
+        cluster=cluster,
+        integrity=integrity,
     )
     result = run.run(duration=args.weeks * 7 * 86400.0)
     print(f"restarts            : {result.restarts}")
     print(f"auto-recovered      : {result.log.auto_fraction():.1%}")
     print(f"effective time rate : {result.effective_rate(run.config.iteration_time):.1%}")
     print(f"tokens trained      : {result.tokens_trained / 1e12:.2f}T")
+    if args.correlated:
+        print(f"degraded intervals  : {len(result.log.degraded)}")
+        print(f"fallback loads      : {result.log.fallback_loads()}")
+        print(f"final dp degree     : {result.final_dp} (healthy {plan.dp})")
     return 0
 
 
@@ -163,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_init)
 
     p = sub.add_parser("production", help="fault-injected long run (Figure 11)")
+    p.add_argument("--correlated", action="store_true",
+                   help="include rack/ToR/leaf-link fault domains, a finite "
+                        "spare pool, and flaky checkpoint storage")
+    p.add_argument("--spares", type=int, default=16,
+                   help="spare-pool size when --correlated (0 forces the elastic path)")
     _add_job_args(p)
     p.add_argument("--weeks", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=0)

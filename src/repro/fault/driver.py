@@ -11,6 +11,14 @@ Two layers:
   with latencies priced by the same subsystems (detector windows,
   diagnostic suite duration, ordered group init, two-stage checkpoint
   recovery), plus a loss curve over the tokens actually trained.
+
+Degraded-mode recovery: both layers survive the unhappy paths — when
+the spare pool is exhausted they shrink the data-parallel degree via
+:mod:`repro.fault.elastic` instead of stalling; correlated domain
+faults (:mod:`repro.fault.domains`) take out whole racks or pods in one
+event; and checkpoint loads go through the integrity + retry layer of
+:mod:`repro.fault.checkpoint`, falling back to the N−1 checkpoint when
+shards stay corrupt.
 """
 
 from __future__ import annotations
@@ -25,14 +33,21 @@ from ..collectives.kvstore import REDIS_STORE
 from ..hardware.cluster import Cluster
 from ..parallel.plan import ParallelPlan
 from ..sim import Channel, Simulator
-from .checkpoint import CheckpointPlanner, lost_progress
+from .checkpoint import (
+    CheckpointLoadOutcome,
+    CheckpointPlanner,
+    RetryPolicy,
+    ShardIntegrityModel,
+    lost_progress,
+)
 from .detector import AnomalyDetector
 from .diagnostics import DiagnosticSuite
+from .elastic import ElasticDecision, ElasticReplanner
 from .executor import Executor
 from .faults import FaultEvent, FaultInjector, Manifestation
 from .heartbeat import HeartbeatHistory
 from .kubernetes import MockKubernetes
-from .recovery import RecoveryLog, RecoveryRecord, effective_training_rate
+from .recovery import DegradedInterval, RecoveryLog, RecoveryRecord, effective_training_rate
 
 
 # -- live, event-driven driver (small scale) ---------------------------------
@@ -40,7 +55,13 @@ from .recovery import RecoveryLog, RecoveryRecord, effective_training_rate
 
 @dataclass
 class RobustTrainingDriver:
-    """Drives executors through detect -> diagnose -> evict -> resume."""
+    """Drives executors through detect -> diagnose -> evict -> resume.
+
+    When the spare pool is exhausted the driver no longer raises: it
+    drops the faulty node, shrinks the active set, and records the loss
+    in ``shrunk`` — the live-cluster analogue of the production run's
+    elastic re-plan.
+    """
 
     sim: Simulator
     cluster: Cluster
@@ -53,6 +74,7 @@ class RobustTrainingDriver:
     histories: dict = field(default_factory=dict)
     state: str = "initializing"
     recoveries: int = 0
+    shrunk: List[int] = field(default_factory=list)  # dropped without replacement
 
     def __post_init__(self) -> None:
         if self.channel is None:
@@ -90,14 +112,27 @@ class RobustTrainingDriver:
         return self.detector.sweep(list(self.histories.values()), self.sim.now)
 
     def recover(self) -> List[int]:
-        """Suspend, diagnose, evict faulty nodes, resume.  Returns evictions."""
+        """Suspend, diagnose, evict faulty nodes, resume.  Returns evictions.
+
+        Faulty nodes are replaced from the spare pool while it lasts;
+        past that, they are dropped and the job continues degraded.
+        """
         self.state = "suspended"
         faulty = self.diagnostics.find_faulty(self.cluster.nodes)
         evicted = []
         for node in faulty:
             executor = next(e for e in self.executors if e.node is node)
             executor.stop()
-            replacement = self.kubernetes.block_and_replace(node.node_id)
+            try:
+                replacement = self.kubernetes.block_and_replace(node.node_id)
+            except LookupError:
+                # Spare pool exhausted: degraded mode — shed the node.
+                self.kubernetes.block_and_drop(node.node_id)
+                del self.histories[node.node_id]
+                self.executors.remove(executor)
+                self.shrunk.append(node.node_id)
+                evicted.append(node.node_id)
+                continue
             del self.histories[node.node_id]
             new_exec = Executor(
                 sim=self.sim,
@@ -110,7 +145,7 @@ class RobustTrainingDriver:
             self.histories[replacement.node_id] = HeartbeatHistory(node_id=replacement.node_id)
             evicted.append(node.node_id)
         self.recoveries += 1
-        self.state = "running"
+        self.state = "running" if self.executors else "stalled"
         return evicted
 
 
@@ -140,6 +175,24 @@ class ProductionRunConfig:
     silent_fault_detection_time: float = 6 * 3600.0  # heat-map review cadence
     kubernetes_replacement_time: float = 40.0
     checkpoint_load_optimized: bool = True
+    # Wall time to provision fresh machines once the spare pool is empty
+    # and no elastic shrink is possible (paging + racking a node).
+    spare_provisioning_time: float = 1800.0
+
+
+@dataclass(frozen=True)
+class IncidentOutcome:
+    """Everything one fault costs, resolved by the recovery pipeline."""
+
+    downtime: float  # after detection
+    diagnose: float
+    auto: bool
+    lost_iterations: int
+    extra_lost_iterations: int  # from an N-1 checkpoint fallback
+    fell_back: bool
+    spares_consumed: int
+    replan: Optional[ElasticDecision]
+    load: Optional[CheckpointLoadOutcome]
 
 
 @dataclass
@@ -152,19 +205,32 @@ class ProductionRunResult:
     log: RecoveryLog
     loss_points: List[Tuple[float, float, int]] = field(default_factory=list)
     # (wall time, loss, restart index at that moment)
+    # Healthy-equivalent iterations: each iteration weighted by the token
+    # fraction its (possibly shrunken) plan trained.
+    effective_iterations: float = 0.0
+    final_dp: Optional[int] = None
 
     @property
     def tokens_trained(self) -> float:
         return self.loss_points[-1][0] if self.loss_points else 0.0
 
     def effective_rate(self, iteration_time: float) -> float:
-        return effective_training_rate(
-            self.completed_iterations, iteration_time, self.wall_time
+        weighted = self.effective_iterations if self.effective_iterations > 0 else float(
+            self.completed_iterations
         )
+        return effective_training_rate(weighted, iteration_time, self.wall_time)
 
 
 class ProductionRun:
-    """Simulates a fault-ridden multi-week run at 10k+ GPU scale."""
+    """Simulates a fault-ridden multi-week run at 10k+ GPU scale.
+
+    With a ``cluster`` the spare pool is finite: replacements consume
+    spares, and once they run out the run re-plans to a smaller DP
+    degree through ``elastic`` (never stalls).  With an ``integrity``
+    model checkpoint loads can hit corrupt shards and retry per
+    ``retry_policy``, falling back to the N−1 checkpoint at the price of
+    one extra checkpoint interval of lost iterations.
+    """
 
     def __init__(
         self,
@@ -175,6 +241,11 @@ class ProductionRun:
         loss_curve: Callable[[float], float] = default_loss_curve,
         diagnostics: Optional[DiagnosticSuite] = None,
         rng: Optional[np.random.Generator] = None,
+        cluster: Optional[Cluster] = None,
+        elastic: Optional[ElasticReplanner] = None,
+        integrity: Optional[ShardIntegrityModel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        gpus_per_node: int = 8,
     ) -> None:
         self.plan = plan
         self.injector = injector
@@ -183,6 +254,13 @@ class ProductionRun:
         self.loss_curve = loss_curve
         self.diagnostics = diagnostics or DiagnosticSuite()
         self.rng = rng if rng is not None else np.random.default_rng(42)
+        self.cluster = cluster
+        self.elastic = elastic or ElasticReplanner(
+            model=planner.model if planner is not None else None
+        )
+        self.integrity = integrity
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.gpus_per_node = gpus_per_node
 
     # -- per-incident latencies ------------------------------------------------
 
@@ -197,22 +275,124 @@ class ProductionRun:
         # Silent: surfaces at the next heat-map review (§5.1).
         return float(self.rng.uniform(0.2, 1.0)) * cfg.silent_fault_detection_time
 
-    def recovery_downtime(self, event: FaultEvent) -> Tuple[float, bool, int]:
-        """(downtime after detection, auto?, lost iterations)."""
+    def replacement_overhead(self, needed: int, spare_count: Optional[int]) -> float:
+        """Replacement wall time given spare availability.
+
+        ``spare_count=None`` models an effectively infinite pool (the
+        legacy behaviour).  An exhausted pool pays full provisioning —
+        unless the elastic path sidesteps replacement entirely, which the
+        incident resolver decides.
+        """
+        if needed == 0:
+            return 0.0
         cfg = self.config
+        if spare_count is None or spare_count >= needed:
+            return cfg.kubernetes_replacement_time
+        return cfg.spare_provisioning_time
+
+    def _checkpoint_load(
+        self, planner: Optional[CheckpointPlanner], bandwidth_factor: float
+    ) -> Tuple[float, int, Optional[CheckpointLoadOutcome]]:
+        """(load time, extra lost iterations, detail) for one restore."""
+        cfg = self.config
+        if planner is None:
+            return 120.0, 0, None
+        if self.integrity is None:
+            return planner.recovery_time(cfg.checkpoint_load_optimized), 0, None
+        outcome = planner.load_with_retry(
+            self.rng,
+            self.integrity,
+            policy=self.retry_policy,
+            optimized=cfg.checkpoint_load_optimized,
+            bandwidth_factor=bandwidth_factor,
+        )
+        extra = cfg.checkpoint_interval_iterations if outcome.fell_back else 0
+        return outcome.total_time, extra, outcome
+
+    def _planner_for(self, plan: ParallelPlan) -> Optional[CheckpointPlanner]:
+        if self.planner is None:
+            return None
+        if plan is self.plan or plan == self.planner.plan:
+            return self.planner
+        return CheckpointPlanner(
+            model=self.planner.model, plan=plan, node=self.planner.node, hdfs=self.planner.hdfs
+        )
+
+    def resolve_incident(
+        self,
+        event: FaultEvent,
+        plan: Optional[ParallelPlan] = None,
+        spares_left: Optional[int] = None,
+        available_gpus: Optional[int] = None,
+    ) -> IncidentOutcome:
+        """Price one fault end-to-end: diagnose, replace/shrink, re-init, load.
+
+        The diagnostic sweep is sampled exactly once and threaded through
+        both the downtime and the ``diagnosed_at`` timestamp.
+        """
+        cfg = self.config
+        plan = plan if plan is not None else self.plan
+        if available_gpus is None:
+            available_gpus = plan.world_size
         diagnose = self.diagnostics.sweep_duration()
         auto = event.kind.auto_detectable
         manual = 0.0 if auto else cfg.manual_intervention_time
-        replace = cfg.kubernetes_replacement_time
-        init = group_init_time(self.plan, REDIS_STORE, ordered=True).total
-        load = (
-            self.planner.recovery_time(cfg.checkpoint_load_optimized)
-            if self.planner is not None
-            else 120.0
-        )
+
+        needed = event.blast_radius if event.kind.needs_replacement else 0
+        consumed = needed if spares_left is None else min(needed, spares_left)
+        short = needed - consumed
+        decision: Optional[ElasticDecision] = None
+        replace = 0.0
+        if needed:
+            if short == 0:
+                replace = cfg.kubernetes_replacement_time
+            else:
+                remaining = available_gpus - short * self.gpus_per_node
+                if plan.world_size <= remaining:
+                    # Idle survivors from an earlier shrink absorb the loss.
+                    replace = cfg.kubernetes_replacement_time if consumed else 0.0
+                else:
+                    if remaining >= 1:
+                        decision = self.elastic.replan(plan, remaining)
+                    if decision is None:
+                        # Nothing fits: stall for fresh machines.
+                        replace = cfg.spare_provisioning_time
+                    elif consumed:
+                        replace = cfg.kubernetes_replacement_time
+
+        resumed_plan = decision.new_plan if decision is not None else plan
+        init = group_init_time(resumed_plan, REDIS_STORE, ordered=True).total
         lost = int(self.rng.integers(0, cfg.checkpoint_interval_iterations))
-        downtime = diagnose + manual + replace + init + load
-        return downtime, auto, lost
+        bandwidth_factor = event.kind.degraded_throughput if not event.kind.needs_replacement else 1.0
+        load, extra, load_outcome = self._checkpoint_load(
+            self._planner_for(resumed_plan), bandwidth_factor
+        )
+        downtime = diagnose + manual + event.kind.repair_time + replace + init + load
+        return IncidentOutcome(
+            downtime=downtime,
+            diagnose=diagnose,
+            auto=auto,
+            lost_iterations=lost,
+            extra_lost_iterations=extra,
+            fell_back=load_outcome.fell_back if load_outcome is not None else False,
+            spares_consumed=consumed,
+            replan=decision,
+            load=load_outcome,
+        )
+
+    def recovery_downtime(
+        self, event: FaultEvent, spare_count: Optional[int] = None
+    ) -> Tuple[float, bool, int]:
+        """(downtime after detection, auto?, lost iterations).
+
+        Compatibility wrapper over :meth:`resolve_incident`; consults the
+        cluster's spare pool when one is attached so replacement time
+        reflects availability.
+        """
+        if spare_count is None and self.cluster is not None:
+            spare_count = self.cluster.spare_count
+        outcome = self.resolve_incident(event, spares_left=spare_count)
+        return outcome.downtime, outcome.auto, outcome.lost_iterations
 
     # -- the run -------------------------------------------------------------------
 
@@ -227,10 +407,22 @@ class ProductionRun:
 
         wall = 0.0
         iterations = 0
+        effective = 0.0  # iterations weighted by shrunken-epoch token fraction
         restarts = 0
+        plan = self.plan
+        healthy_dp = self.plan.dp
+        factor = 1.0  # tokens-per-iteration fraction of the healthy plan
+        spares_left = self.cluster.spare_count if self.cluster is not None else None
+        available_gpus = plan.world_size
+
+        def accrue(seconds: float, speed: float = 1.0) -> None:
+            nonlocal iterations, effective
+            done = int(seconds * speed / cfg.iteration_time)
+            iterations += done
+            effective += done * factor
 
         def record_loss() -> None:
-            tokens = iterations * cfg.tokens_per_iteration
+            tokens = effective * cfg.tokens_per_iteration
             loss_points.append((tokens, self.loss_curve(tokens), restarts))
 
         record_loss()
@@ -238,42 +430,72 @@ class ProductionRun:
             if event.time <= wall:
                 continue  # fault landed during a recovery window
             # Train until the fault.
-            productive = event.time - wall
-            iterations += int(productive / cfg.iteration_time)
+            accrue(event.time - wall)
             wall = event.time
             record_loss()
-            # Detect, diagnose, recover.
             detect = self.detection_time(event)
-            downtime, auto, lost = self.recovery_downtime(event)
+            if event.kind.manifestation is Manifestation.SILENT:
+                # Training limps on until the heat-map review: the slowest
+                # participant gates the whole synchronous job.
+                accrue(detect, speed=event.kind.degraded_throughput)
+            outcome = self.resolve_incident(
+                event, plan=plan, spares_left=spares_left, available_gpus=available_gpus
+            )
             detected_at = wall + detect
-            diagnosed_at = detected_at + self.diagnostics.sweep_duration()
-            resumed_at = detected_at + downtime
+            diagnosed_at = detected_at + outcome.diagnose
+            resumed_at = detected_at + outcome.downtime
             log.add(
                 RecoveryRecord(
                     fault=event,
                     detected_at=detected_at,
                     diagnosed_at=diagnosed_at,
                     resumed_at=resumed_at,
-                    auto=auto,
-                    lost_iterations=lost,
+                    auto=outcome.auto,
+                    lost_iterations=outcome.lost_iterations,
+                    fallback_load=outcome.fell_back,
+                    extra_lost_iterations=outcome.extra_lost_iterations,
+                    replanned_dp=outcome.replan.new_plan.dp if outcome.replan else None,
+                    nodes_lost=event.blast_radius,
+                    spares_consumed=outcome.spares_consumed,
                 )
             )
-            iterations = max(0, iterations - lost)
+            rolled_back = outcome.lost_iterations + outcome.extra_lost_iterations
+            iterations = max(0, iterations - rolled_back)
+            effective = max(0.0, effective - rolled_back * factor)
+            if spares_left is not None:
+                spares_left -= outcome.spares_consumed
+            if event.kind.needs_replacement:
+                short = event.blast_radius - outcome.spares_consumed
+                available_gpus -= short * self.gpus_per_node
+            if outcome.replan is not None:
+                plan = outcome.replan.new_plan
+                factor = plan.dp / healthy_dp
+                log.add_degraded(
+                    DegradedInterval(
+                        start=resumed_at,
+                        dp=plan.dp,
+                        healthy_dp=healthy_dp,
+                        reason=f"{event.kind.name}@{event.domain or event.node_index}",
+                    )
+                )
             wall = resumed_at
             restarts += 1
             record_loss()
             if wall >= duration:
                 break
         if wall < duration:
-            iterations += int((duration - wall) / cfg.iteration_time)
+            accrue(duration - wall)
             wall = duration
             record_loss()
+        log.close_degraded(wall)
         return ProductionRunResult(
             wall_time=wall,
             completed_iterations=iterations,
             restarts=restarts,
             log=log,
             loss_points=loss_points,
+            effective_iterations=effective,
+            final_dp=plan.dp,
         )
 
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +40,17 @@ class FaultKind:
     weekly_rate_per_node: float  # expected occurrences per node-week
     auto_detectable: bool  # covered by heartbeats + diagnostic tests
     apply: Callable[[Node], None] = field(compare=False, default=lambda node: None)
+    # Throughput the job sustains while the fault is active but undetected
+    # (synchronous training is gated by its slowest participant, so one
+    # silently-slow host drags the whole job to this fraction).
+    degraded_throughput: float = 1.0
+    # Whether recovery must swap the affected hosts for spares (hardware
+    # death) or the hosts come back on their own (network faults that end
+    # with a switch failover / reroute).
+    needs_replacement: bool = True
+    # Extra fixed repair latency beyond diagnosis + replacement (e.g. a
+    # switch failover) charged during recovery.
+    repair_time: float = 0.0
 
 
 def _kill_gpu(node: Node) -> None:
@@ -69,8 +80,14 @@ SEGFAULT = FaultKind("segfault", Manifestation.EXPLICIT, 3.0e-3, True, _mark_unh
 GPU_ECC = FaultKind("gpu-ecc", Manifestation.EXPLICIT, 4.2e-3, True, _kill_gpu)
 NIC_DOWN = FaultKind("nic-down", Manifestation.EXPLICIT, 2.1e-3, True, _down_nic)
 NCCL_HANG = FaultKind("nccl-hang", Manifestation.HANG, 1.8e-3, True, _mark_unhealthy)
-NIC_DEGRADED = FaultKind("nic-degraded", Manifestation.SILENT, 0.75e-3, False, _degrade_nic)
-SLOW_HOST = FaultKind("slow-host", Manifestation.SILENT, 0.75e-3, False, _slow_host)
+NIC_DEGRADED = FaultKind(
+    "nic-degraded", Manifestation.SILENT, 0.75e-3, False, _degrade_nic,
+    degraded_throughput=0.85,
+)
+SLOW_HOST = FaultKind(
+    "slow-host", Manifestation.SILENT, 0.75e-3, False, _slow_host,
+    degraded_throughput=0.9,
+)
 
 FAULT_CATALOG: List[FaultKind] = [
     CUDA_ERROR,
@@ -85,11 +102,26 @@ FAULT_CATALOG: List[FaultKind] = [
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One sampled failure occurrence."""
+    """One sampled failure occurrence.
+
+    Single-node faults leave ``node_indices`` empty and name their victim
+    via ``node_index``.  Correlated (domain) faults list every affected
+    node in ``node_indices`` and label their blast radius in ``domain``.
+    """
 
     time: float  # seconds into the run
     kind: FaultKind
     node_index: int  # index into the active node list
+    node_indices: Tuple[int, ...] = ()
+    domain: Optional[str] = None  # e.g. "rack3", "tor1", "pod0-leaf"
+
+    @property
+    def affected_nodes(self) -> Tuple[int, ...]:
+        return self.node_indices if self.node_indices else (self.node_index,)
+
+    @property
+    def blast_radius(self) -> int:
+        return len(self.affected_nodes)
 
 
 def auto_detectable_fraction(events: List[FaultEvent]) -> float:

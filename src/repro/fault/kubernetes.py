@@ -68,6 +68,24 @@ class MockKubernetes:
         )
         return replacement
 
+    def block_and_drop(self, node_id: int) -> Node:
+        """Evict a faulty node with no replacement (spare pool exhausted).
+
+        The node's IP is blocked like any eviction, its Pod is stopped,
+        and the cluster shrinks — the degraded-mode path the elastic
+        driver takes instead of stalling on an empty spare pool.
+        """
+        node = self.cluster.node(node_id)
+        self.blocked_ips.add(node.ip)
+        pod = self.pods.pop(node_id, None)
+        if pod is not None:
+            pod.running = False
+        return self.cluster.remove(node_id)
+
+    @property
+    def has_spare(self) -> bool:
+        return self.cluster.spare_count > 0
+
     def replacement_time(self) -> float:
         """Wall time to evict + schedule + start the replacement Pod."""
         return self.allocation_delay

@@ -8,8 +8,8 @@ paper's troubleshooting anecdotes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
 
 from ..hardware.cluster import Cluster
 from ..sim import Simulator
@@ -28,6 +28,7 @@ class ScenarioOutcome:
     evicted: List[int]
     auto_recovered: bool
     notes: str = ""
+    shrunk: List[int] = field(default_factory=list)  # dropped, not replaced
 
 
 @dataclass
@@ -68,6 +69,7 @@ class Scenario:
             detected=detected,
             evicted=evicted,
             auto_recovered=auto,
+            shrunk=list(driver.shrunk),
         )
 
 
@@ -112,3 +114,117 @@ ALL_SCENARIOS: List[Callable[[], Scenario]] = [
 def run_all(n_nodes: int = 4, n_spares: int = 6) -> List[ScenarioOutcome]:
     """Execute every scenario on a fresh cluster each."""
     return [factory().run(n_nodes=n_nodes, n_spares=n_spares) for factory in ALL_SCENARIOS]
+
+
+# -- correlated fault domains (degraded-mode war stories) -----------------------
+
+
+def rack_power_scenario() -> Scenario:
+    """A PSU trips and a whole rack of executors crashes at once."""
+    return Scenario(name="rack-psu", faults=[CUDA_ERROR, CUDA_ERROR])
+
+
+def tor_switch_scenario() -> Scenario:
+    """A ToR switch dies: every server it fronts hangs in NCCL together."""
+    return Scenario(name="tor-switch", faults=[NCCL_HANG, NCCL_HANG])
+
+
+def spare_exhaustion_scenario() -> Scenario:
+    """A correlated crash wider than the spare pool: the job must shrink."""
+    return Scenario(name="spare-exhaustion", faults=[CUDA_ERROR, CUDA_ERROR, CUDA_ERROR])
+
+
+CORRELATED_SCENARIOS: List[Callable[[], Scenario]] = [
+    rack_power_scenario,
+    tor_switch_scenario,
+    spare_exhaustion_scenario,
+]
+
+
+def run_correlated(n_nodes: int = 4, n_spares: int = 1) -> List[ScenarioOutcome]:
+    """Execute the correlated-domain scenarios against a thin spare pool.
+
+    With fewer spares than the blast radius, each run exercises the
+    degraded-mode path: faulty nodes past the pool are shed (``shrunk``)
+    rather than replaced, and the driver keeps running.
+    """
+    return [
+        factory().run(n_nodes=n_nodes, n_spares=n_spares) for factory in CORRELATED_SCENARIOS
+    ]
+
+
+def chaos_smoke(seeds: Sequence[int] = (0, 1, 2), weeks: float = 1.0) -> List[dict]:
+    """CI chaos job: live scenarios + correlated production runs per seed.
+
+    For each seed: run every live scenario (independent and correlated),
+    then a production run under a :class:`CorrelatedFaultInjector` with a
+    zero-spare cluster and a flaky HDFS — the full degraded-mode
+    pipeline.  ``RecoveryRecord`` validation raises on any non-monotone
+    recovery timeline; this function additionally re-checks each log and
+    verifies the run is deterministic under its seed.  Raises
+    ``AssertionError``/``ValueError`` on any violation, so a plain
+    invocation doubles as a pass/fail gate.
+    """
+    import numpy as np
+
+    from ..hardware.cluster import Cluster as _Cluster
+    from ..model import GPT_175B
+    from ..parallel.plan import plan_for_gpus
+    from .checkpoint import FLAKY_HDFS, CheckpointPlanner
+    from .domains import CorrelatedFaultInjector, DomainTopology
+    from .driver import ProductionRun
+
+    summaries: List[dict] = []
+    for seed in seeds:
+        live = run_all() + run_correlated()
+
+        def build() -> ProductionRun:
+            n_nodes = 128
+            plan = plan_for_gpus(n_nodes * 8, tp=8, pp=8, vpp=2)
+            injector = CorrelatedFaultInjector(
+                n_nodes=n_nodes,
+                topology=DomainTopology(n_nodes=n_nodes, nodes_per_rack=4, nodes_per_pod=16),
+                rng=np.random.default_rng(seed),
+                rate_multiplier=20.0,  # compress weeks of faults into the horizon
+            )
+            return ProductionRun(
+                plan,
+                injector,
+                planner=CheckpointPlanner(model=GPT_175B, plan=plan),
+                rng=np.random.default_rng(seed),
+                cluster=_Cluster.build(n_nodes=n_nodes, n_spares=0),
+                integrity=FLAKY_HDFS,
+            )
+
+        result = build().run(duration=weeks * 7 * 86400.0)
+        again = build().run(duration=weeks * 7 * 86400.0)
+        for record in result.log.records:
+            if not (
+                record.fault.time
+                <= record.detected_at
+                <= record.diagnosed_at
+                <= record.resumed_at
+            ):
+                raise ValueError(f"non-monotone recovery timeline: {record}")
+        timeline = [
+            (r.fault.time, r.detected_at, r.diagnosed_at, r.resumed_at)
+            for r in result.log.records
+        ]
+        timeline_again = [
+            (r.fault.time, r.detected_at, r.diagnosed_at, r.resumed_at)
+            for r in again.log.records
+        ]
+        assert timeline == timeline_again, f"seed {seed}: run is not deterministic"
+        assert result.wall_time > 0 and result.completed_iterations >= 0
+        summaries.append(
+            {
+                "seed": seed,
+                "scenarios": len(live),
+                "restarts": result.restarts,
+                "fallback_loads": result.log.fallback_loads(),
+                "degraded_intervals": len(result.log.degraded),
+                "final_dp": result.final_dp,
+                "effective_rate": result.effective_rate(6.34),
+            }
+        )
+    return summaries

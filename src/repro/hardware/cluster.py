@@ -49,6 +49,11 @@ class Cluster:
     def n_gpus(self) -> int:
         return sum(n.n_gpus for n in self.nodes)
 
+    @property
+    def spare_count(self) -> int:
+        """Healthy standby nodes still available for replacement."""
+        return len(self.spares)
+
     def node(self, node_id: int) -> Node:
         return self._by_id[node_id]
 
@@ -81,6 +86,19 @@ class Cluster:
         self.nodes[position] = replacement
         target.evicted = True
         return replacement
+
+    def remove(self, node_id: int) -> Node:
+        """Drop a faulty node with no replacement (degraded mode).
+
+        Used when the spare pool is exhausted and the job elects to keep
+        training at a smaller data-parallel degree instead of stalling.
+        """
+        target = self._by_id.get(node_id)
+        if target is None or target not in self.nodes:
+            raise LookupError(f"node {node_id} is not active")
+        self.nodes.remove(target)
+        target.evicted = True
+        return target
 
     def faulty_nodes(self) -> List[Node]:
         return [n for n in self.nodes if n.has_fault()]

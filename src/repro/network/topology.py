@@ -125,6 +125,18 @@ class ClosFabric:
         """Whether two nodes share their ToR switch set (same pod)."""
         return self.pod_of(a) == self.pod_of(b)
 
+    def nodes_in_pod(self, pod: int) -> List[int]:
+        """All node indices fronted by pod ``pod``'s ToR set.
+
+        This is the blast radius of a ToR-switch or leaf-link fault: the
+        correlated fault domains of :mod:`repro.fault.domains` map onto
+        these groups.
+        """
+        if not 0 <= pod < self.n_pods:
+            raise ValueError(f"pod {pod} outside 0..{self.n_pods - 1}")
+        start = pod * self.nodes_per_pod
+        return list(range(start, min(start + self.nodes_per_pod, self.n_nodes)))
+
     def hops(self, src: int, dst: int) -> int:
         """Number of links a rail-aligned packet crosses."""
         if src == dst:

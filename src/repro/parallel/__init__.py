@@ -13,7 +13,7 @@ from .pipeline import (
 )
 from .placement import Placement, packed_placement, validate_placement
 from .plan import ParallelPlan, plan_for_gpus
-from .tuner import TunedPlan, candidate_plans, feasible, tune
+from .tuner import TunedPlan, candidate_plans, feasible, shrink_dp_plans, tune
 from .zero import (
     DpCommEvent,
     chunk_grad_bytes,
@@ -47,6 +47,7 @@ __all__ = [
     "candidate_plans",
     "feasible",
     "tune",
+    "shrink_dp_plans",
     "schedule_for",
     "sharded_state_summary",
     "validate_placement",

@@ -1,0 +1,86 @@
+"""Checkpoint-interval planning: clamps and Young-Daly optimality."""
+
+import numpy as np
+import pytest
+
+from repro.fault import CheckpointPlanner, FaultInjector, HdfsModel
+from repro.fault.interval import (
+    expected_overhead_fraction,
+    plan_interval,
+    young_daly_interval,
+)
+from repro.model import GPT_175B
+from repro.parallel import plan_for_gpus
+
+
+def make_planner(hdfs=None):
+    plan = plan_for_gpus(1024, tp=8, pp=8, vpp=2)
+    return CheckpointPlanner(model=GPT_175B, plan=plan, hdfs=hdfs)
+
+
+# -- clamping ---------------------------------------------------------------
+
+
+def test_interval_clamped_to_async_drain_time():
+    # A crawling HDFS makes the background drain enormous; the chosen
+    # interval must never start a checkpoint before the previous upload
+    # finished, even when Young-Daly alone would pick something shorter.
+    slow_hdfs = HdfsModel(
+        aggregate_read_bandwidth=60e9,
+        aggregate_write_bandwidth=2e8,
+        per_client_bandwidth=1e8,
+    )
+    planner = make_planner(hdfs=slow_hdfs)
+    # A huge fleet with inflated rates gives a short MTBF -> short YD interval.
+    injector = FaultInjector(n_nodes=4096, rng=np.random.default_rng(0), rate_multiplier=50.0)
+    mtbf = 1.0 / injector.cluster_rate_per_second()
+    raw = young_daly_interval(planner.save_cost().training_interruption, mtbf)
+    drain = planner.min_checkpoint_interval()
+    assert raw < drain  # the clamp must actually bind
+    chosen = plan_interval(planner, injector, iteration_time=6.34)
+    assert chosen.interval_seconds >= drain
+
+
+def test_interval_clamped_to_one_iteration_floor():
+    planner = make_planner()
+    injector = FaultInjector(n_nodes=128, rng=np.random.default_rng(0))
+    iteration_time = 1e6  # absurdly long iterations dominate every bound
+    chosen = plan_interval(planner, injector, iteration_time=iteration_time)
+    assert chosen.interval_iterations == 1
+    assert chosen.interval_seconds == pytest.approx(iteration_time)
+
+
+def test_interval_seconds_is_whole_iterations():
+    planner = make_planner()
+    injector = FaultInjector(n_nodes=1536, rng=np.random.default_rng(0))
+    chosen = plan_interval(planner, injector, iteration_time=6.34)
+    assert chosen.interval_iterations >= 1
+    assert chosen.interval_seconds == pytest.approx(chosen.interval_iterations * 6.34)
+
+
+# -- Young-Daly optimality ---------------------------------------------------
+
+
+def test_expected_overhead_minimized_near_young_daly():
+    cost, mtbf, recovery = 4.0, 36_000.0, 450.0
+    star = young_daly_interval(cost, mtbf)
+    at_star = expected_overhead_fraction(star, cost, mtbf, recovery)
+    # Dense multiplicative scan: nothing beats the analytic optimum.
+    for factor in np.geomspace(0.05, 20.0, 161):
+        other = expected_overhead_fraction(star * float(factor), cost, mtbf, recovery)
+        assert at_star <= other + 1e-12
+    # And the optimum is strict against clearly-off intervals.
+    assert at_star < expected_overhead_fraction(star / 4, cost, mtbf, recovery)
+    assert at_star < expected_overhead_fraction(star * 4, cost, mtbf, recovery)
+
+
+def test_planned_interval_near_overhead_minimum_when_unclamped():
+    planner = make_planner()
+    injector = FaultInjector(n_nodes=1536, rng=np.random.default_rng(0))
+    chosen = plan_interval(planner, injector, iteration_time=6.34)
+    # When no clamp binds, the discrete choice sits within one iteration
+    # of the continuous optimum, so its overhead is near-minimal.
+    cost = planner.save_cost().training_interruption
+    star = young_daly_interval(cost, chosen.mtbf)
+    if chosen.interval_seconds > max(planner.min_checkpoint_interval(), 6.34):
+        assert abs(chosen.interval_seconds - star) <= 6.34
