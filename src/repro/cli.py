@@ -8,6 +8,13 @@ Commands mirror the paper's experiments:
 * ``init`` — the §3.5 group-initialization sequence
 * ``production`` — a fault-injected multi-week run (Figure 11)
 * ``tune`` — auto-tune the 3D parallelism for a model + GPU count
+* ``trace`` — inspect/render a saved telemetry trace document
+
+``production`` and ``sweep`` accept ``--trace out.json``: everything the
+run did is collected into one
+:class:`~repro.observability.TelemetryHub` and exported as a unified
+Perfetto-loadable document (one pid lane per subsystem) plus a
+``.metrics.jsonl`` sidecar.
 """
 
 from __future__ import annotations
@@ -54,12 +61,13 @@ def cmd_sweep(args) -> int:
     from .core import compare, job_175b
     from .exec import run_tasks
 
+    hub = _make_hub(args, "sweep")
     scales = [
         (256, 768), (512, 768), (768, 768), (1024, 768),
         (3072, 6144), (6144, 6144), (8192, 6144), (12288, 6144),
     ]
     jobs = [job_175b(n_gpus=gpus, global_batch=batch) for gpus, batch in scales]
-    results, stats = run_tasks(compare, jobs, workers=args.workers)
+    results, stats = run_tasks(compare, jobs, workers=args.workers, hub=hub)
     print(f"{'GPUs':>6s} {'batch':>6s} {'Megatron':>9s} {'MegaScale':>10s} {'speedup':>8s}")
     for (gpus, batch), r in zip(scales, results):
         print(
@@ -68,6 +76,7 @@ def cmd_sweep(args) -> int:
         )
     if args.stats:
         print(stats.describe())
+    _save_hub(hub, args)
     return 0
 
 
@@ -97,6 +106,53 @@ def cmd_init(args) -> int:
     return 0
 
 
+def _make_hub(args, job_name: str):
+    """A TelemetryHub when ``--trace`` was given, else None."""
+    if not getattr(args, "trace", None):
+        return None
+    from .observability import TelemetryHub
+
+    return TelemetryHub(job_name=job_name)
+
+
+def _save_hub(hub, args) -> None:
+    if hub is None:
+        return
+    n_events, metrics_path = hub.save(args.trace)
+    lanes = ", ".join(hub.session.subsystems())
+    print(f"trace               : {args.trace} ({n_events} events; lanes: {lanes})")
+    print(f"metrics             : {metrics_path}")
+
+
+def _telemetry_prologue(hub, model, plan, global_batch: int, seed: int) -> None:
+    """Instrumented samples of the compute-side subsystems.
+
+    A production trace should show the whole system, not just the fault
+    timeline: a short instrumented training burst (segment spans + MFU
+    gauges), one ring collective over a real fabric slice (bytes and
+    algorithm attrs), and a congestion-posture experiment (utilization
+    and queue gauges) all land on their own lanes before the multi-week
+    fault/monitor timeline plays out.
+    """
+    from .collectives.runtime import RingCollectiveRuntime
+    from .core.features import MEGASCALE_ISO_BATCH
+    from .network.congestion import simulate_bottleneck
+    from .network.topology import ClosFabric
+    from .training import TrainingRunner
+
+    runner = TrainingRunner(
+        model, plan, MEGASCALE_ISO_BATCH, global_batch=global_batch, seed=seed
+    )
+    runner.run(2, hub=hub)
+    # One DP-ring reduce-scatter's worth of gradient traffic on a small
+    # fabric slice (8 nodes, one rail).
+    fabric = ClosFabric(n_nodes=8, nodes_per_pod=8)
+    runtime = RingCollectiveRuntime(fabric, node_of_rank=list(range(8)))
+    shard_bytes = 2 * model.n_params / max(1, plan.tp * plan.pp)
+    runtime.run("reduce_scatter", shard_bytes, hub=hub)
+    simulate_bottleneck("megascale", n_flows=8, duration=0.01, hub=hub)
+
+
 def cmd_production(args) -> int:
     from .fault import CheckpointPlanner, FaultInjector, ProductionRun
     from .model import MODEL_CATALOG
@@ -116,6 +172,9 @@ def cmd_production(args) -> int:
         integrity = FLAKY_HDFS
     else:
         injector = FaultInjector(n_nodes=n_nodes, rng=np.random.default_rng(args.seed))
+    hub = _make_hub(args, "production")
+    if hub is not None:
+        _telemetry_prologue(hub, model, plan, args.batch, args.seed)
     run = ProductionRun(
         plan,
         injector,
@@ -123,6 +182,7 @@ def cmd_production(args) -> int:
         rng=np.random.default_rng(args.seed),
         cluster=cluster,
         integrity=integrity,
+        hub=hub,
     )
     result = run.run(duration=args.weeks * 7 * 86400.0)
     print(f"restarts            : {result.restarts}")
@@ -133,6 +193,42 @@ def cmd_production(args) -> int:
         print(f"degraded intervals  : {len(result.log.degraded)}")
         print(f"fallback loads      : {result.log.fallback_loads()}")
         print(f"final dp degree     : {result.final_dp} (healthy {plan.dp})")
+    if hub is not None:
+        findings = run.monitors.findings
+        worst = max((f.severity for _, f in findings), default="none",
+                    key=lambda s: ["none", "ok", "warning", "critical"].index(s))
+        print(f"health findings     : {len(findings)} (worst: {worst})")
+    _save_hub(hub, args)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from .observability.export import (
+        lane_recorder,
+        lane_summary,
+        load_trace_document,
+        loads_round_trip,
+    )
+    from .observability.timeline import DistributedTimeline
+
+    document = loads_round_trip(load_trace_document(args.path))
+    print(f"{'pid':>4s} {'lane':<28s} {'spans':>7s} {'instants':>9s} {'counters':>9s}  extent")
+    for lane in lane_summary(document):
+        extent = (
+            "-" if lane["start"] is None
+            else f"{lane['start']:.2f}s .. {lane['end']:.2f}s"
+        )
+        print(
+            f"{lane['pid']:>4d} {lane['name']:<28s} {lane['spans']:>7d} "
+            f"{lane['instants']:>9d} {lane['counters']:>9d}  {extent}"
+        )
+    if args.lane:
+        recorder = lane_recorder(document, args.lane)
+        if len(recorder):
+            print(f"\n[{args.lane}]")
+            print(DistributedTimeline.from_trace(recorder).render_ascii(width=args.width))
+        else:
+            print(f"\n[{args.lane}] has no spans to render")
     return 0
 
 
@@ -170,6 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes (0 = serial, the default)")
     p.add_argument("--stats", action="store_true",
                    help="print executor + cost-model cache statistics")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a unified telemetry trace (Chrome/Perfetto JSON "
+                        "+ .metrics.jsonl sidecar)")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("ablation", help="Table 3 optimization ladder")
@@ -188,7 +287,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_job_args(p)
     p.add_argument("--weeks", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="PATH",
+                   help="collect spans/metrics from every subsystem (training, "
+                        "collectives, network, fault, monitors) into one "
+                        "Perfetto-loadable trace + .metrics.jsonl sidecar")
     p.set_defaults(func=cmd_production)
+
+    p = sub.add_parser("trace", help="inspect/render a saved telemetry trace")
+    p.add_argument("path", help="trace JSON written by --trace")
+    p.add_argument("--lane", help="render this subsystem lane as ASCII")
+    p.add_argument("--width", type=int, default=72,
+                   help="ASCII rendering width (default 72)")
+    p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("tune", help="auto-tune 3D parallelism")
     _add_job_args(p)

@@ -93,12 +93,22 @@ class RingCollectiveRuntime:
             worst_time = self.software_latency
         return RingStepResult(step=0, duration=worst_time, slowest_pair=worst_pair)
 
-    def run(self, kind: str, size: float, sim: Optional[Simulator] = None) -> CollectiveRun:
+    def run(
+        self,
+        kind: str,
+        size: float,
+        sim: Optional[Simulator] = None,
+        hub=None,
+        rank: int = 0,
+    ) -> CollectiveRun:
         """Execute ``kind`` of a ``size``-byte tensor; returns its timing.
 
         Each ring step is a barrier: all pairwise transfers proceed
         concurrently with max-min shared bandwidth, and the step ends when
-        the slowest finishes (NCCL's synchronous ring pipeline).
+        the slowest finishes (NCCL's synchronous ring pipeline).  With a
+        :class:`~repro.observability.TelemetryHub` as ``hub`` the whole
+        collective lands as one span on the ``collectives`` lane (row
+        ``rank``) with bytes/algorithm attributes, plus per-step digests.
         """
         if size < 0:
             raise ValueError("size must be non-negative")
@@ -110,9 +120,12 @@ class RingCollectiveRuntime:
         else:
             raise ValueError(f"unsupported collective {kind!r}")
         if n == 1 or size == 0 or n_steps == 0:
-            return CollectiveRun(kind=kind, n_ranks=n, total_time=0.0)
+            run = CollectiveRun(kind=kind, n_ranks=n, total_time=0.0)
+            self._emit_telemetry(hub, run, size, rank, start=sim.now if sim else 0.0)
+            return run
 
         sim = sim or Simulator()
+        start = sim.now
         paths = self._step_paths()
         segment = size / n
         steps: List[RingStepResult] = []
@@ -127,7 +140,31 @@ class RingCollectiveRuntime:
 
         Process(sim, driver(), name=f"{kind}-ring")
         sim.run()
-        return CollectiveRun(kind=kind, n_ranks=n, total_time=done["t"], steps=steps)
+        run = CollectiveRun(kind=kind, n_ranks=n, total_time=done["t"] - start, steps=steps)
+        self._emit_telemetry(hub, run, size, rank, start=start)
+        return run
+
+    def _emit_telemetry(
+        self, hub, run: CollectiveRun, size: float, rank: int, start: float
+    ) -> None:
+        if hub is None:
+            return
+        hub.span(
+            "collectives",
+            run.kind,
+            rank,
+            start,
+            start + run.total_time,
+            stream="comm",
+            bytes=size,
+            algorithm="ring",
+            n_ranks=run.n_ranks,
+            steps=len(run.steps),
+        )
+        hub.count("collectives", "executed", 1, kind=run.kind)
+        hub.count("collectives", "bytes_moved", size)
+        for step in run.steps:
+            hub.observe("collectives", "step_time", step.duration, kind=run.kind)
 
 
 def concurrent_rings_time(

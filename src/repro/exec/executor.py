@@ -16,6 +16,14 @@ Either way the call returns ``(results, SweepStats)``: counters of the
 memoized cost models (:mod:`repro.exec.memo`) are snapshotted around each
 task, and the per-task deltas are summed across processes, so the report
 reflects exactly the reuse this sweep achieved.
+
+With a :class:`~repro.observability.TelemetryHub` as ``hub`` each
+candidate also lands as a span on the ``exec`` trace lane.  Sweep tasks
+run in wall-clock (not simulated) time, which would break byte-identical
+traces, so the lane uses a deterministic pseudo-time axis: task ``i``
+occupies ``[i, i+1)`` with its memo hit/miss deltas as span attributes.
+Deltas arrive in submission order from both the serial and the parallel
+path, so the merged counters are identical either way.
 """
 
 from __future__ import annotations
@@ -59,42 +67,58 @@ class SweepExecutor:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
 
     def map(
-        self, fn: Callable[[T], R], items: Iterable[T]
+        self, fn: Callable[[T], R], items: Iterable[T], hub=None
     ) -> Tuple[List[R], SweepStats]:
         """``([fn(x) for x in items], SweepStats)``, possibly in parallel."""
         todo: Sequence[T] = list(items)
         if not todo:
             return [], SweepStats(n_tasks=0, workers=self.workers)
         if self.workers == 0:
-            return self._map_serial(fn, todo)
-        return self._map_parallel(fn, todo)
+            outcomes = [_call_with_stats(fn, item) for item in todo]
+        else:
+            outcomes = self._run_parallel(fn, todo)
+        results = [result for result, _ in outcomes]
+        deltas = [delta for _, delta in outcomes]
+        if hub is not None:
+            self._emit_telemetry(hub, todo, deltas)
+        counters = merge_deltas(deltas)
+        return results, SweepStats.from_counters(counters, len(todo), self.workers)
 
-    def _map_serial(
+    def _run_parallel(
         self, fn: Callable[[T], R], items: Sequence[T]
-    ) -> Tuple[List[R], SweepStats]:
-        before = cache_snapshot()
-        results = [fn(item) for item in items]
-        delta = cache_delta(before, cache_snapshot())
-        return results, SweepStats.from_counters(delta, len(items), workers=0)
-
-    def _map_parallel(
-        self, fn: Callable[[T], R], items: Sequence[T]
-    ) -> Tuple[List[R], SweepStats]:
+    ) -> List[Tuple[R, Snapshot]]:
         with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
             futures = [pool.submit(_call_with_stats, fn, item) for item in items]
             # Collect in submission order, not completion order: the
             # merge is deterministic regardless of worker scheduling.
-            outcomes = [f.result() for f in futures]
-        results = [result for result, _ in outcomes]
-        counters = merge_deltas([delta for _, delta in outcomes])
-        return results, SweepStats.from_counters(counters, len(items), self.workers)
+            return [f.result() for f in futures]
+
+    def _emit_telemetry(self, hub, items: Sequence[T], deltas: List[Snapshot]) -> None:
+        for i, (item, delta) in enumerate(zip(items, deltas)):
+            hits = sum(h for h, _ in delta.values())
+            misses = sum(m for _, m in delta.values())
+            hub.span(
+                "exec",
+                f"candidate[{type(item).__name__}]",
+                rank=i % self.workers if self.workers else 0,
+                start=float(i),
+                end=float(i + 1),
+                stream="sweep",
+                task=i,
+                memo_hits=hits,
+                memo_misses=misses,
+            )
+            for name, (h, m) in sorted(delta.items()):
+                hub.count("exec", "memo_hits", h, cache=name)
+                hub.count("exec", "memo_misses", m, cache=name)
+        hub.count("exec", "tasks", len(items))
 
 
 def run_tasks(
-    fn: Callable[[T], R], items: Iterable[T], workers: int = 0
+    fn: Callable[[T], R], items: Iterable[T], workers: int = 0, hub=None
 ) -> Tuple[List[R], SweepStats]:
     """Functional shorthand for ``SweepExecutor(workers).map(fn, items)``."""
-    return SweepExecutor(workers=workers).map(fn, items)
+    return SweepExecutor(workers=workers).map(fn, items, hub=hub)
 
 
 __all__ = ["SweepExecutor", "run_tasks"]

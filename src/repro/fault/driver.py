@@ -31,6 +31,8 @@ import numpy as np
 from ..collectives.init import group_init_time
 from ..collectives.kvstore import REDIS_STORE
 from ..hardware.cluster import Cluster
+from ..network.flapping import FlapEvent
+from ..observability.monitors import MillisecondMonitor, SecondLevelMonitor
 from ..parallel.plan import ParallelPlan
 from ..sim import Channel, Simulator
 from .checkpoint import (
@@ -75,6 +77,7 @@ class RobustTrainingDriver:
     state: str = "initializing"
     recoveries: int = 0
     shrunk: List[int] = field(default_factory=list)  # dropped without replacement
+    hub: Optional[object] = None  # optional TelemetryHub ("fault" lane)
 
     def __post_init__(self) -> None:
         if self.channel is None:
@@ -118,6 +121,7 @@ class RobustTrainingDriver:
         past that, they are dropped and the job continues degraded.
         """
         self.state = "suspended"
+        suspended_at = self.sim.now
         faulty = self.diagnostics.find_faulty(self.cluster.nodes)
         evicted = []
         for node in faulty:
@@ -146,7 +150,69 @@ class RobustTrainingDriver:
             evicted.append(node.node_id)
         self.recoveries += 1
         self.state = "running" if self.executors else "stalled"
+        if self.hub is not None:
+            self.hub.instant(
+                "fault",
+                "recover",
+                suspended_at,
+                evicted=len(evicted),
+                shrunk=len(self.shrunk),
+                state=self.state,
+            )
+            for node_id in evicted:
+                self.hub.instant("fault", "evict", suspended_at, rank=node_id)
+            self.hub.count("fault", "recoveries", 1)
         return evicted
+
+
+class LiveMonitors:
+    """§4.2's two monitoring tiers attached to a production timeline.
+
+    The :class:`~repro.observability.MillisecondMonitor` watches the
+    effective transfer rate (full line rate while healthy, the degraded
+    fraction while a silent fault limps along, zero while traffic has
+    ceased during recovery); the
+    :class:`~repro.observability.SecondLevelMonitor` watches the flap
+    history synthesized from NIC/link incidents.  Every verdict is
+    emitted as an instant on the ``monitor`` lane at the simulated time
+    it fired, so ``HealthFinding``s appear live on the unified trace.
+    """
+
+    def __init__(self, hub, link_rate: float = 25e9) -> None:
+        self.hub = hub
+        self.link_rate = link_rate
+        self.millisecond = MillisecondMonitor(link_rate=link_rate)
+        self.second = SecondLevelMonitor()
+        self.flaps: List[FlapEvent] = []
+        self.findings = []  # (time, HealthFinding) in emission order
+
+    def _emit(self, finding, at: float) -> None:
+        self.findings.append((at, finding))
+        self.hub.instant(
+            "monitor",
+            f"{finding.subsystem}:{finding.severity}",
+            at,
+            severity=finding.severity,
+            source=finding.subsystem,
+            message=finding.message,
+        )
+        self.hub.count("monitor", "findings", 1, severity=finding.severity)
+
+    def observe_incident(self, event: FaultEvent, detected_at: float, resumed_at: float) -> None:
+        """Feed both tiers from one fault incident and emit their verdicts."""
+        ms = self.millisecond
+        ms.record(event.time, self.link_rate)  # healthy right up to the fault
+        if event.kind.manifestation is Manifestation.SILENT:
+            # Limping along: the slowest participant gates the job.
+            ms.record(detected_at, event.kind.degraded_throughput * self.link_rate)
+        else:
+            ms.record(detected_at, 0.0)  # traffic ceased (crash or hang)
+        self._emit(ms.verdict(), detected_at)
+        if "nic" in event.kind.name or event.domain is not None:
+            # Network-shaped incidents read as link flaps to the coarse tier.
+            self.flaps.append(FlapEvent(down_at=event.time, up_at=resumed_at))
+            self._emit(self.second.check_flapping(self.flaps, now=detected_at), detected_at)
+        ms.record(resumed_at, self.link_rate)  # recovered to line rate
 
 
 # -- multi-week production timeline (Figure 11) --------------------------------
@@ -246,6 +312,8 @@ class ProductionRun:
         integrity: Optional[ShardIntegrityModel] = None,
         retry_policy: Optional[RetryPolicy] = None,
         gpus_per_node: int = 8,
+        hub: Optional[object] = None,
+        monitor_link_rate: float = 25e9,
     ) -> None:
         self.plan = plan
         self.injector = injector
@@ -261,6 +329,8 @@ class ProductionRun:
         self.integrity = integrity
         self.retry_policy = retry_policy or RetryPolicy()
         self.gpus_per_node = gpus_per_node
+        self.hub = hub
+        self.monitors = LiveMonitors(hub, link_rate=monitor_link_rate) if hub else None
 
     # -- per-incident latencies ------------------------------------------------
 
@@ -424,6 +494,8 @@ class ProductionRun:
         def record_loss() -> None:
             tokens = effective * cfg.tokens_per_iteration
             loss_points.append((tokens, self.loss_curve(tokens), restarts))
+            if self.hub is not None:
+                self.hub.sample("fault", "effective_iterations", wall, effective)
 
         record_loss()
         for event in events:
@@ -444,6 +516,31 @@ class ProductionRun:
             detected_at = wall + detect
             diagnosed_at = detected_at + outcome.diagnose
             resumed_at = detected_at + outcome.downtime
+            if self.hub is not None:
+                self.hub.instant(
+                    "fault",
+                    event.kind.name,
+                    event.time,
+                    rank=event.node_index,
+                    manifestation=event.kind.manifestation.value,
+                    blast_radius=event.blast_radius,
+                    domain=event.domain or f"node{event.node_index}",
+                )
+                self.hub.span(
+                    "fault", "detect", event.node_index, event.time, detected_at,
+                    stream="detect", kind=event.kind.name,
+                )
+                self.hub.span(
+                    "fault", "recover", event.node_index, detected_at, resumed_at,
+                    stream="recover", kind=event.kind.name, auto=outcome.auto,
+                    lost_iterations=outcome.lost_iterations,
+                    spares_consumed=outcome.spares_consumed,
+                    fell_back=outcome.fell_back,
+                )
+                self.hub.count("fault", "incidents", 1, kind=event.kind.name)
+                self.hub.observe("fault", "downtime", outcome.downtime)
+                self.hub.observe("fault", "detection_time", detect)
+                self.monitors.observe_incident(event, detected_at, resumed_at)
             log.add(
                 RecoveryRecord(
                     fault=event,
@@ -470,6 +567,11 @@ class ProductionRun:
             if outcome.replan is not None:
                 plan = outcome.replan.new_plan
                 factor = plan.dp / healthy_dp
+                if self.hub is not None:
+                    self.hub.instant(
+                        "fault", "dp-shrink", resumed_at,
+                        rank=event.node_index, dp=plan.dp, healthy_dp=healthy_dp,
+                    )
                 log.add_degraded(
                     DegradedInterval(
                         start=resumed_at,
@@ -488,6 +590,19 @@ class ProductionRun:
             wall = duration
             record_loss()
         log.close_degraded(wall)
+        if self.hub is not None:
+            for interval in log.degraded:
+                self.hub.span(
+                    "fault",
+                    "degraded-dp",
+                    0,
+                    interval.start,
+                    interval.end if interval.end is not None else wall,
+                    stream="degraded",
+                    dp=interval.dp,
+                    healthy_dp=interval.healthy_dp,
+                    reason=interval.reason,
+                )
         return ProductionRunResult(
             wall_time=wall,
             completed_iterations=iterations,

@@ -141,12 +141,18 @@ def simulate_bottleneck(
     ecn_threshold: Optional[float] = None,
     pfc_xoff: Optional[float] = None,
     seed: int = 0,
+    hub=None,
 ) -> CongestionResult:
     """Run ``n_flows`` senders into one bottleneck under ``algorithm``.
 
     A designated *victim* flow traverses the same ingress port but exits
     through an uncongested egress; when PFC pauses the port, the victim
     stalls too (head-of-line blocking).
+
+    With a :class:`~repro.observability.TelemetryHub` as ``hub`` the
+    experiment emits link-utilization and queue-depth gauge samples
+    (Chrome counter events on the ``network`` lane) plus one summary
+    span per experiment.
     """
     cc_cls = CC_ALGORITHMS.get(algorithm)
     if cc_cls is None:
@@ -164,6 +170,7 @@ def simulate_bottleneck(
     queue_sum = 0.0
     queue_peak = 0.0
     steps = int(duration / dt)
+    sample_every = max(1, steps // 64)  # bound the telemetry volume
     for step in range(steps):
         now = step * dt
         paused = pfc.update(queue, now)
@@ -180,7 +187,26 @@ def simulate_bottleneck(
         marked = queue > ecn_threshold
         for f in flows:
             f.on_signal(rtt, marked, dt)
+        if hub is not None and step % sample_every == 0:
+            hub.sample(
+                "network", f"link_utilization[{algorithm}]", now, drained / dt / capacity
+            )
+            hub.sample("network", f"queue_bytes[{algorithm}]", now, queue)
     pfc.finish(duration)
+    if hub is not None:
+        hub.span(
+            "network",
+            f"bottleneck[{algorithm}]",
+            0,
+            0.0,
+            duration,
+            stream="congestion",
+            algorithm=algorithm,
+            n_flows=n_flows,
+            goodput_fraction=delivered / (capacity * duration),
+            pfc_pause_fraction=pfc.pause_fraction(duration),
+        )
+        hub.count("network", "congestion_experiments", 1, algorithm=algorithm)
     return CongestionResult(
         algorithm=algorithm,
         n_flows=n_flows,

@@ -28,7 +28,12 @@ class FlapEvent:
 
 @dataclass
 class LinkFlapper:
-    """Drives a link through down/up cycles on the simulation clock."""
+    """Drives a link through down/up cycles on the simulation clock.
+
+    With a :class:`~repro.observability.TelemetryHub` as ``hub`` every
+    flap lands as a pair of instant events (``link-down`` / ``link-up``)
+    on the ``network`` lane at the simulated instants they fired.
+    """
 
     sim: Simulator
     link: DuplexLink
@@ -36,6 +41,7 @@ class LinkFlapper:
     mean_down_time: float  # mean seconds a flap lasts
     rng: object  # numpy Generator
     events: List[FlapEvent] = field(default_factory=list)
+    hub: object = None  # optional TelemetryHub
     _proc: Process = field(default=None, repr=False)  # type: ignore[assignment]
 
     def start(self) -> None:
@@ -47,10 +53,17 @@ class LinkFlapper:
             yield self.sim.timeout(wait)
             down_at = self.sim.now
             self.link.set_state(False)
+            if self.hub is not None:
+                self.hub.instant("network", "link-down", down_at)
             down_for = float(self.rng.exponential(self.mean_down_time))
             yield self.sim.timeout(down_for)
             self.link.set_state(True)
             self.events.append(FlapEvent(down_at, self.sim.now))
+            if self.hub is not None:
+                self.hub.instant(
+                    "network", "link-up", self.sim.now, duration=self.sim.now - down_at
+                )
+                self.hub.count("network", "flaps", 1)
 
     def stop(self) -> None:
         """Halt injection; a flap in progress is cut short (link restored)."""

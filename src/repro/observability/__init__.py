@@ -16,9 +16,26 @@ from .mfu_analysis import (
     launch_skew_trend,
     segment_trends,
 )
-from .export import dump_chrome_trace, timeline_to_chrome_trace
+from .export import (
+    dump_chrome_trace,
+    dump_telemetry,
+    hub_to_chrome_trace,
+    lane_recorder,
+    lane_summary,
+    load_trace_document,
+    loads_round_trip,
+    timeline_to_chrome_trace,
+)
 from .monitors import HealthFinding, MillisecondMonitor, SecondLevelMonitor
 from .report import DiagnosisReport, diagnose
+from .telemetry import (
+    SUBSYSTEM_LANES,
+    Instant,
+    MetricsRegistry,
+    PercentileDigest,
+    TelemetryHub,
+    TraceSession,
+)
 from .timeline import DistributedTimeline, TimelineEvent, pipeline_group_timeline
 from .viz3d import DependencyGraph, RankView, rank_view, render
 
@@ -27,7 +44,19 @@ __all__ = [
     "DeclineAttribution",
     "DependencyGraph",
     "DiagnosisReport",
+    "Instant",
+    "MetricsRegistry",
+    "PercentileDigest",
+    "SUBSYSTEM_LANES",
+    "TelemetryHub",
+    "TraceSession",
     "dump_chrome_trace",
+    "dump_telemetry",
+    "hub_to_chrome_trace",
+    "lane_recorder",
+    "lane_summary",
+    "load_trace_document",
+    "loads_round_trip",
     "timeline_to_chrome_trace",
     "diagnose",
     "DistributedTimeline",

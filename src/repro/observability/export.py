@@ -4,12 +4,19 @@ Serializes a :class:`~repro.observability.DistributedTimeline` (or raw
 trace spans) into the Chrome trace-event JSON format, loadable in
 ``chrome://tracing`` / Perfetto — the practical equivalent of the
 paper's timeline UI for anyone running this reproduction.
+
+Beyond the single-lane legacy path, :func:`hub_to_chrome_trace` renders
+a whole :class:`~repro.observability.telemetry.TelemetryHub` session as
+one unified document: one ``pid`` lane per subsystem, complete (``X``)
+events for spans, instant (``i``) events for faults/findings/flaps, and
+counter (``C``) events for gauge samples.  All events are sorted on a
+total order so the same session always serializes byte-identically.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.trace import Span, TraceRecorder
 from .timeline import DistributedTimeline
@@ -32,16 +39,62 @@ def span_to_event(span: Span, pid: int = 0) -> dict:
     }
 
 
+def instant_to_event(
+    name: str, ts: float, pid: int = 0, tid: int = 0, args: Optional[dict] = None
+) -> dict:
+    """One instant ('i') event, process-scoped so it spans the lane."""
+    return {
+        "name": name,
+        "ph": "i",
+        "s": "p",
+        "ts": ts * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": args or {},
+    }
+
+
+def counter_to_event(
+    name: str, ts: float, value: float, pid: int = 0, tid: int = 0
+) -> dict:
+    """One counter ('C') event — Perfetto renders the series as a graph."""
+    return {
+        "name": name,
+        "ph": "C",
+        "ts": ts * _US,
+        "pid": pid,
+        "tid": tid,
+        "args": {"value": value},
+    }
+
+
+def _event_order(event: dict) -> tuple:
+    """Total order for non-metadata events: time first, then lane/row."""
+    return (
+        event.get("ts", 0.0),
+        event.get("pid", 0),
+        event.get("tid", 0),
+        event.get("ph", ""),
+        event.get("name", ""),
+    )
+
+
 def timeline_to_chrome_trace(
     timeline: DistributedTimeline,
     job_name: str = "megascale",
+    pid: int = 0,
 ) -> dict:
-    """The full trace document for one timeline."""
+    """The full trace document for one timeline.
+
+    ``pid`` selects the process lane every event lands on (default 0
+    keeps the legacy single-lane layout); 'X' events are sorted by
+    timestamp so Perfetto renders a deterministic lane order.
+    """
     events: List[dict] = [
         {
             "name": "process_name",
             "ph": "M",
-            "pid": 0,
+            "pid": pid,
             "args": {"name": job_name},
         }
     ]
@@ -50,12 +103,81 @@ def timeline_to_chrome_trace(
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": 0,
+                "pid": pid,
                 "tid": rank,
                 "args": {"name": f"rank {rank}"},
             }
         )
-    events.extend(span_to_event(e.span) for e in timeline.events)
+    events.extend(
+        sorted((span_to_event(e.span, pid=pid) for e in timeline.events), key=_event_order)
+    )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def hub_to_chrome_trace(hub, job_name: Optional[str] = None) -> dict:
+    """One unified document for a telemetry hub's whole session.
+
+    Layout: one process (``pid``) lane per subsystem with metadata names,
+    span 'X' events with ``tid`` = rank, instant 'i' events for
+    faults/findings/flaps, and counter 'C' events for every gauge series
+    (named ``subsystem.metric``, attached to the subsystem's lane).
+    """
+    session = hub.session
+    job = job_name or getattr(hub, "job_name", "megascale")
+    events: List[dict] = []
+    for subsystem in session.subsystems():
+        pid = session.lane(subsystem)
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "args": {"name": f"{job}/{subsystem}"},
+            }
+        )
+        events.append(
+            {
+                "name": "process_sort_index",
+                "ph": "M",
+                "pid": pid,
+                "args": {"sort_index": pid},
+            }
+        )
+        ranks = sorted(
+            {s.rank for s in session.spans(subsystem)}
+            | {i.rank for i in session.instants if i.subsystem == subsystem}
+        )
+        for rank in ranks:
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+
+    timed: List[dict] = []
+    for subsystem in session.subsystems():
+        pid = session.lane(subsystem)
+        timed.extend(span_to_event(span, pid=pid) for span in session.spans(subsystem))
+    for inst in session.instants:
+        timed.append(
+            instant_to_event(
+                inst.name,
+                inst.ts,
+                pid=session.lane(inst.subsystem),
+                tid=inst.rank,
+                args=dict(inst.attrs),
+            )
+        )
+    for name, labels, series in hub.metrics.gauges():
+        subsystem = name.split(".", 1)[0]
+        pid = session.lane(subsystem) if subsystem in session.subsystems() else 0
+        tid = dict(labels).get("rank", 0)
+        timed.extend(counter_to_event(name, t, v, pid=pid, tid=tid) for t, v in series)
+    events.extend(sorted(timed, key=_event_order))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -64,15 +186,116 @@ def dump_chrome_trace(
     path: str,
     ranks: Optional[List[int]] = None,
     job_name: str = "megascale",
+    pid: int = 0,
 ) -> int:
     """Write a trace recorder's spans to ``path``; returns event count."""
     timeline = DistributedTimeline.from_trace(trace, ranks=ranks)
-    document = timeline_to_chrome_trace(timeline, job_name=job_name)
+    document = timeline_to_chrome_trace(timeline, job_name=job_name, pid=pid)
     with open(path, "w") as handle:
         json.dump(document, handle)
     return len(document["traceEvents"])
 
 
+def dump_telemetry(
+    hub, trace_path: str, metrics_path: Optional[str] = None
+) -> Tuple[int, str]:
+    """Write a hub's unified trace document plus its metrics JSONL dump.
+
+    Returns ``(n_trace_events, metrics_path)``.  The default metrics path
+    swaps a ``.json`` suffix for ``.metrics.jsonl`` (or appends it).
+    """
+    if metrics_path is None:
+        if trace_path.endswith(".json"):
+            metrics_path = trace_path[: -len(".json")] + ".metrics.jsonl"
+        else:
+            metrics_path = trace_path + ".metrics.jsonl"
+    document = hub.to_chrome_trace()
+    with open(trace_path, "w") as handle:
+        json.dump(document, handle)
+    with open(metrics_path, "w") as handle:
+        for line in hub.metrics_lines():
+            handle.write(line + "\n")
+    return len(document["traceEvents"]), metrics_path
+
+
 def loads_round_trip(document: dict) -> dict:
     """JSON round-trip (serializability check used by tests)."""
     return json.loads(json.dumps(document))
+
+
+# -- reading saved sessions back (the `repro trace` command) -----------------
+
+
+def load_trace_document(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def lane_names(document: dict) -> Dict[int, str]:
+    """pid -> process name, from the document's metadata events."""
+    names: Dict[int, str] = {}
+    for event in document.get("traceEvents", []):
+        if event.get("ph") == "M" and event.get("name") == "process_name":
+            names[event.get("pid", 0)] = event.get("args", {}).get("name", "")
+    return names
+
+
+def lane_summary(document: dict) -> List[dict]:
+    """Per-lane event counts and time extent, ordered by pid."""
+    lanes: Dict[int, dict] = {}
+    for pid, name in lane_names(document).items():
+        lanes[pid] = {
+            "pid": pid, "name": name, "spans": 0, "instants": 0,
+            "counters": 0, "start": None, "end": None,
+        }
+    for event in document.get("traceEvents", []):
+        ph = event.get("ph")
+        if ph == "M":
+            continue
+        pid = event.get("pid", 0)
+        lane = lanes.setdefault(
+            pid,
+            {"pid": pid, "name": f"pid {pid}", "spans": 0, "instants": 0,
+             "counters": 0, "start": None, "end": None},
+        )
+        if ph == "X":
+            lane["spans"] += 1
+        elif ph == "i":
+            lane["instants"] += 1
+        elif ph == "C":
+            lane["counters"] += 1
+        ts = event.get("ts", 0.0) / _US
+        end = ts + event.get("dur", 0.0) / _US
+        lane["start"] = ts if lane["start"] is None else min(lane["start"], ts)
+        lane["end"] = end if lane["end"] is None else max(lane["end"], end)
+    return [lanes[pid] for pid in sorted(lanes)]
+
+
+def lane_recorder(document: dict, lane: str) -> TraceRecorder:
+    """Rebuild a :class:`TraceRecorder` from one lane's 'X' events.
+
+    ``lane`` matches the process name's suffix (``job/subsystem`` or the
+    bare subsystem name), so ``lane_recorder(doc, "training")`` recovers
+    the training lane of a hub export.
+    """
+    target_pid = None
+    for pid, name in lane_names(document).items():
+        if name == lane or name.endswith(f"/{lane}"):
+            target_pid = pid
+            break
+    if target_pid is None:
+        raise KeyError(f"no lane named {lane!r} in the document")
+    recorder = TraceRecorder()
+    for event in document.get("traceEvents", []):
+        if event.get("ph") != "X" or event.get("pid") != target_pid:
+            continue
+        start = event["ts"] / _US
+        recorder.record(
+            event.get("name", ""),
+            rank=event.get("tid", 0),
+            start=start,
+            end=start + event.get("dur", 0.0) / _US,
+            stream=event.get("cat", "default"),
+            **event.get("args", {}),
+        )
+    return recorder

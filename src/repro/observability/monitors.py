@@ -83,7 +83,14 @@ class MillisecondMonitor:
         self.samples.append((t, rate))
 
     def utilization(self, window: Optional[int] = None) -> float:
-        data = self.samples[-window:] if window else self.samples
+        """Mean utilization over the trailing ``window`` samples.
+
+        ``None`` and ``0`` both mean "all samples"; negative windows are
+        rejected rather than silently slicing from the front.
+        """
+        if window is not None and window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        data = self.samples if not window else self.samples[-window:]
         if not data:
             return 0.0
         return sum(r for _, r in data) / len(data) / self.link_rate

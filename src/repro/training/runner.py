@@ -70,12 +70,15 @@ class TrainingRunner:
     def n_hosts(self) -> int:
         return max(1, self.plan.world_size // 8)
 
-    def run(self, n_iterations: int, trial: int = 0, timer=None) -> RunResult:
+    def run(self, n_iterations: int, trial: int = 0, timer=None, hub=None) -> RunResult:
         """Execute ``n_iterations`` under one scheduling draw.
 
         Pass a :class:`~repro.observability.CudaEventTimer` as ``timer``
         to record per-stage forward/backward/optimizer/reduce-scatter
         segments each step — the §5 analysis tools consume exactly this.
+        Pass a :class:`~repro.observability.TelemetryHub` as ``hub`` to
+        emit the same segments as spans on the ``training`` trace lane
+        (absolute simulated time) plus per-step MFU gauge samples.
         """
         if n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
@@ -94,6 +97,7 @@ class TrainingRunner:
             features=self.features, n_hosts=self.n_hosts, rng=rng
         )
         result = RunResult(speed_factor=speed)
+        clock = 0.0
         for step in range(n_iterations):
             overhead = perturb.iteration_overhead(step)
             iteration = self._engine.simulate(
@@ -103,6 +107,9 @@ class TrainingRunner:
             result.iteration_times.append(iteration.iteration_time)
             if timer is not None:
                 self._record_segments(timer, step, iteration, overhead, speed)
+            if hub is not None:
+                self._emit_telemetry(hub, step, clock, iteration, overhead, speed)
+            clock += iteration.iteration_time
         return result
 
     def _record_segments(self, timer, step, iteration, overhead, speed) -> None:
@@ -128,6 +135,45 @@ class TrainingRunner:
                 max(iteration.dp_exposed, 1e-4),
                 started_at=iteration.pipeline_time + skew,
             )
+
+    def _emit_telemetry(self, hub, step, clock, iteration, overhead, speed) -> None:
+        """Per-stage segment spans + MFU gauges on the ``training`` lane.
+
+        Mirrors :meth:`_record_segments` on an absolute clock: ``clock``
+        is the simulated start of this step, so successive iterations lay
+        out sequentially on the trace timeline.
+        """
+        engine = self._engine
+        m = self.plan.n_microbatches(self.global_batch)
+        for stage in range(self.plan.pp):
+            fwd = engine.f_chunk * m * self.plan.vpp / speed
+            bwd = engine.b_chunk * m * self.plan.vpp / speed
+            skew = overhead if stage == 1 else 0.0
+            t = clock
+            hub.span(
+                "training", "forward", stage, t, t + fwd + skew,
+                stream="compute", step=step,
+            )
+            t += fwd + skew
+            hub.span(
+                "training", "backward", stage, t, t + bwd,
+                stream="compute", step=step,
+            )
+            rs_start = clock + iteration.pipeline_time + skew
+            rs_end = rs_start + max(iteration.dp_exposed, 1e-4)
+            hub.span(
+                "training", "reduce_scatter", stage, rs_start, rs_end,
+                stream="comm", step=step,
+            )
+            hub.span(
+                "training", "optimizer", stage, rs_end,
+                rs_end + iteration.optimizer_time, stream="compute", step=step,
+            )
+        end = clock + iteration.iteration_time
+        hub.sample("training", "mfu", end, iteration.mfu)
+        hub.sample("training", "tokens_per_second", end, iteration.tokens_per_second)
+        hub.count("training", "iterations")
+        hub.observe("training", "iteration_time", iteration.iteration_time)
 
     def run_trials(self, n_trials: int, n_iterations: int) -> List[RunResult]:
         """Independent scheduling draws of the same job (Figure 6)."""

@@ -47,3 +47,48 @@ def test_tune_command(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_production_trace_flag_writes_document(tmp_path):
+    import json
+
+    trace = tmp_path / "run.json"
+    argv = [
+        "production", "--gpus", "256", "--weeks", "0.1", "--seed", "1",
+        "--correlated", "--trace", str(trace),
+    ]
+    assert main(argv) == 0
+    document = json.loads(trace.read_text())
+    from repro.observability import lane_summary, loads_round_trip
+
+    loads_round_trip(document)
+    lanes = {l["name"].split("/")[-1] for l in lane_summary(document)}
+    assert {"training", "collectives", "network", "fault"} <= lanes
+    assert (tmp_path / "run.metrics.jsonl").exists()
+
+
+def test_sweep_trace_flag_writes_document(tmp_path, capsys):
+    import json
+
+    trace = tmp_path / "sweep.json"
+    argv = ["sweep", "--trace", str(trace)]
+    assert main(argv) == 0
+    events = json.loads(trace.read_text())["traceEvents"]
+    assert any(e["ph"] == "X" and e["name"].startswith("candidate") for e in events)
+    assert "trace" in capsys.readouterr().out
+
+
+def test_trace_command_summarizes_lanes(tmp_path, capsys):
+    trace = tmp_path / "run.json"
+    main([
+        "production", "--gpus", "256", "--weeks", "0.1", "--seed", "1",
+        "--trace", str(trace),
+    ])
+    capsys.readouterr()
+    assert main(["trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "lane" in out and "spans" in out
+    assert "training" in out and "fault" in out
+    assert main(["trace", str(trace), "--lane", "training"]) == 0
+    out = capsys.readouterr().out
+    assert "rank" in out  # ASCII timeline rendered

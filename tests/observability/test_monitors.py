@@ -74,6 +74,29 @@ def test_ms_monitor_windowing():
     assert not monitor.at_physical_limit()
 
 
+def test_ms_monitor_utilization_window_zero_means_all_samples():
+    # Regression: window=0 used to slice samples[-0:] on an implicit
+    # truthiness check and silently behave like "all", while negative
+    # windows sliced from the wrong end.  Both are now explicit.
+    monitor = MillisecondMonitor(link_rate=10e9)
+    for t in range(10):
+        monitor.record(t * 1e-3, 5e9)
+    for t in range(10, 20):
+        monitor.record(t * 1e-3, 10e9)
+    assert monitor.utilization(window=0) == monitor.utilization()
+    assert monitor.utilization(window=0) == pytest.approx(0.75)
+    assert monitor.utilization(window=10) == pytest.approx(1.0)
+
+
+def test_ms_monitor_utilization_rejects_negative_window():
+    monitor = MillisecondMonitor(link_rate=10e9)
+    monitor.record(0.0, 5e9)
+    with pytest.raises(ValueError, match="window"):
+        monitor.utilization(window=-1)
+    with pytest.raises(ValueError, match="window"):
+        monitor.at_physical_limit(window=-5)
+
+
 def test_ms_monitor_validation():
     with pytest.raises(ValueError):
         MillisecondMonitor(link_rate=0)

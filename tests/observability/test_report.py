@@ -50,3 +50,28 @@ def test_combined_problems_both_reported():
     text = report.render()
     assert "straggler machines" in text
     assert "trend analysis" in text
+
+
+def test_single_step_run_skips_trend_analysis():
+    # One step cannot support a trend fit; diagnose must degrade to the
+    # heat map alone instead of propagating the ValueError.
+    report = diagnose(make_timer(n_steps=1))
+    assert report.decline is None
+    assert report.healthy
+    assert "trend analysis" not in report.render()
+
+
+def test_growing_compute_segment_gets_investigate_recommendation():
+    # Forward grows on every rank with no launch skew: the culprit is the
+    # segment itself, not GC-staggered collective launches.
+    timer = CudaEventTimer()
+    for step in range(40):
+        for rank in range(8):
+            timer.record(rank, step, "forward", 0.1 + step * 1e-3)
+            timer.record(rank, step, "reduce_scatter", 0.02, started_at=1.0)
+    report = diagnose(timer)
+    assert report.decline is not None
+    assert report.decline.culprit == "forward"
+    assert not report.decline.launch_skew_growing
+    assert any("investigate the growing forward" in r for r in report.recommendations)
+    assert not report.healthy

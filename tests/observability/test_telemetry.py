@@ -1,0 +1,324 @@
+"""Tests for the end-to-end telemetry hub and its unified export."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.features import MEGASCALE_ISO_BATCH
+from repro.exec import run_tasks
+from repro.fault import CheckpointPlanner, FaultInjector, ProductionRun
+from repro.model import GPT_13B, GPT_175B
+from repro.network import DuplexLink, Link, LinkFlapper, simulate_bottleneck
+from repro.network.topology import ClosFabric
+from repro.collectives.runtime import RingCollectiveRuntime
+from repro.observability import (
+    SUBSYSTEM_LANES,
+    MetricsRegistry,
+    PercentileDigest,
+    TelemetryHub,
+    hub_to_chrome_trace,
+    lane_recorder,
+    lane_summary,
+    loads_round_trip,
+)
+from repro.parallel import ParallelPlan, plan_for_gpus
+from repro.sim import RandomStreams, Simulator
+from repro.training import TrainingRunner
+
+
+# -- metrics registry ---------------------------------------------------------
+
+
+def test_counter_monotone_and_labelled():
+    metrics = MetricsRegistry()
+    metrics.inc("rdma_bytes", 10, rank=0)
+    metrics.inc("rdma_bytes", 5, rank=0)
+    metrics.inc("rdma_bytes", 7, rank=1)
+    assert metrics.counter("rdma_bytes", rank=0) == 15
+    assert metrics.counter("rdma_bytes", rank=1) == 7
+    with pytest.raises(ValueError):
+        metrics.inc("rdma_bytes", -1)
+
+
+def test_gauge_series_and_records():
+    metrics = MetricsRegistry()
+    for t in range(5):
+        metrics.sample("mfu", float(t), 0.5 + 0.01 * t)
+    series = metrics.gauge_series("mfu")
+    assert len(series) == 5 and series[-1] == (4.0, 0.54)
+    kinds = {r["kind"] for r in metrics.records()}
+    assert kinds == {"gauge"}
+
+
+def test_digest_percentiles():
+    digest = PercentileDigest()
+    for v in range(1, 101):
+        digest.observe(float(v))
+    assert digest.count == 100
+    assert digest.min == 1.0 and digest.max == 100.0
+    assert digest.percentile(0.5) == pytest.approx(50.0, abs=2.0)
+    assert digest.percentile(0.99) == pytest.approx(99.0, abs=2.0)
+    with pytest.raises(ValueError):
+        digest.percentile(1.5)
+
+
+def test_digest_compresses_deterministically():
+    a, b = PercentileDigest(max_centroids=16), PercentileDigest(max_centroids=16)
+    for v in range(1000):
+        a.observe(float(v % 37))
+        b.observe(float(v % 37))
+    assert a.percentile(0.5) == b.percentile(0.5)
+    assert len(a._centroids) <= 16
+
+
+# -- trace session / lanes ----------------------------------------------------
+
+
+def test_known_subsystems_get_fixed_lanes():
+    hub = TelemetryHub()
+    # Register out of order: pids must still match the fixed map.
+    for name in ("fault", "training", "network"):
+        hub.span(name, "x", 0, 0.0, 1.0)
+    assert hub.session.lane("training") == SUBSYSTEM_LANES["training"]
+    assert hub.session.lane("fault") == SUBSYSTEM_LANES["fault"]
+    assert hub.session.subsystems() == ["training", "network", "fault"]
+
+
+def test_unknown_subsystem_gets_fresh_lane():
+    hub = TelemetryHub()
+    pid = hub.session.lane("datapipe")
+    assert pid not in SUBSYSTEM_LANES.values()
+    assert hub.session.lane("datapipe") == pid  # stable
+
+
+def test_instants_and_attr_coercion():
+    hub = TelemetryHub()
+    hub.instant("fault", "gpu-ecc", 12.5, rank=3, severity=np.float64(0.5), node=np.int64(7))
+    inst = hub.session.instants[0]
+    attrs = dict(inst.attrs)
+    assert attrs == {"node": 7, "severity": 0.5}
+    assert all(type(v) in (int, float) for v in attrs.values())
+    json.dumps(attrs)  # must be serializable
+
+
+# -- unified chrome export ----------------------------------------------------
+
+
+def _small_hub():
+    hub = TelemetryHub(job_name="unit")
+    hub.span("training", "forward", 0, 0.0, 1.0, stream="compute", step=0)
+    hub.span("training", "backward", 0, 1.0, 3.0, stream="compute", step=0)
+    hub.span("collectives", "all_reduce", 1, 0.5, 0.9, bytes=1024, algorithm="ring")
+    hub.instant("fault", "cuda-error", 2.0, rank=4, blast_radius=1)
+    hub.sample("training", "mfu", 3.0, 0.55)
+    hub.count("exec", "tasks", 3)
+    return hub
+
+
+def test_unified_document_layout():
+    document = hub_to_chrome_trace(_small_hub())
+    events = document["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    xs = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    counters = [e for e in events if e["ph"] == "C"]
+    names = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+    assert {"unit/training", "unit/collectives", "unit/fault"} == names
+    assert {e["pid"] for e in xs} == {SUBSYSTEM_LANES["training"], SUBSYSTEM_LANES["collectives"]}
+    assert instants[0]["pid"] == SUBSYSTEM_LANES["fault"]
+    assert counters[0]["name"] == "training.mfu"
+    assert counters[0]["args"]["value"] == 0.55
+    # Non-metadata events sorted by ts.
+    timed = [e for e in events if e["ph"] != "M"]
+    assert [e["ts"] for e in timed] == sorted(e["ts"] for e in timed)
+    loads_round_trip(document)
+
+
+def test_lane_summary_and_recorder_round_trip():
+    document = loads_round_trip(hub_to_chrome_trace(_small_hub()))
+    lanes = {l["name"]: l for l in lane_summary(document)}
+    assert lanes["unit/training"]["spans"] == 2
+    assert lanes["unit/training"]["counters"] == 1
+    assert lanes["unit/fault"]["instants"] == 1
+    recorder = lane_recorder(document, "training")
+    assert len(recorder) == 2
+    span = recorder.spans(name="forward")[0]
+    assert span.start == pytest.approx(0.0) and span.end == pytest.approx(1.0)
+    with pytest.raises(KeyError):
+        lane_recorder(document, "nonexistent")
+
+
+def test_save_writes_trace_and_metrics(tmp_path):
+    hub = _small_hub()
+    path = tmp_path / "session.json"
+    n_events, metrics_path = hub.save(str(path))
+    assert n_events == len(json.loads(path.read_text())["traceEvents"])
+    lines = [json.loads(l) for l in open(metrics_path)]
+    assert any(r["kind"] == "counter" and r["name"] == "exec.tasks" for r in lines)
+    assert str(metrics_path).endswith(".metrics.jsonl")
+
+
+# -- instrumented subsystems --------------------------------------------------
+
+
+def test_training_runner_emits_spans_and_gauges():
+    hub = TelemetryHub()
+    runner = TrainingRunner(
+        GPT_13B,
+        ParallelPlan(dp=2, tp=8, pp=2, vpp=2),
+        MEGASCALE_ISO_BATCH,
+        global_batch=32,
+        seed=3,
+    )
+    result = runner.run(3, hub=hub)
+    spans = hub.session.spans("training")
+    assert {s.name for s in spans} == {"forward", "backward", "reduce_scatter", "optimizer"}
+    assert len(spans) == 3 * runner.plan.pp * 4
+    mfu = hub.metrics.gauge_series("training.mfu", rank=0)
+    assert [v for _, v in mfu] == result.mfu_series
+    # Spans lie on an absolute clock: step 1 starts after step 0's iteration.
+    step0 = [s for s in spans if s.attr("step") == 0]
+    step1 = [s for s in spans if s.attr("step") == 1]
+    assert min(s.start for s in step1) >= max(s.start for s in step0)
+    assert hub.metrics.counter("training.iterations") == 3
+
+
+def test_collective_runtime_emits_span_with_attrs():
+    hub = TelemetryHub()
+    fabric = ClosFabric(n_nodes=4, nodes_per_pod=4)
+    runtime = RingCollectiveRuntime(fabric, node_of_rank=[0, 1, 2, 3])
+    run = runtime.run("all_reduce", 1 << 20, hub=hub)
+    (span,) = hub.session.spans("collectives")
+    assert span.name == "all_reduce"
+    assert span.attr("bytes") == 1 << 20
+    assert span.attr("algorithm") == "ring"
+    assert span.duration == pytest.approx(run.total_time)
+    assert hub.metrics.counter("collectives.bytes_moved") == 1 << 20
+    digest = hub.metrics.digest("collectives.step_time", kind="all_reduce")
+    assert digest is not None and digest.count == len(run.steps)
+
+
+def test_congestion_emits_utilization_samples():
+    hub = TelemetryHub()
+    result = simulate_bottleneck("megascale", n_flows=4, duration=0.01, hub=hub)
+    series = hub.metrics.gauge_series("network.link_utilization[megascale]", rank=0)
+    assert len(series) > 10
+    assert all(0.0 <= v <= 1.0 + 1e-9 for _, v in series)
+    (span,) = hub.session.spans("network")
+    assert span.attr("goodput_fraction") == pytest.approx(result.goodput_fraction)
+
+
+def test_flapper_emits_instants():
+    hub = TelemetryHub()
+    sim = Simulator()
+    link = DuplexLink(Link(src="a", dst="b", bandwidth=1e9))
+    rng = RandomStreams(seed=1).stream("flaps")
+    flapper = LinkFlapper(
+        sim, link, mean_interval=10.0, mean_down_time=2.0, rng=rng, hub=hub
+    )
+    flapper.start()
+    sim.run(until=100.0)
+    flapper.stop()
+    downs = [i for i in hub.session.instants if i.name == "link-down"]
+    ups = [i for i in hub.session.instants if i.name == "link-up"]
+    assert len(ups) == len(flapper.events) >= 1
+    assert len(downs) >= len(ups)
+    assert ups[0].ts == pytest.approx(flapper.events[0].up_at)
+    assert hub.metrics.counter("network.flaps") == len(ups)
+
+
+def _double(x):
+    return 2 * x
+
+
+def test_sweep_executor_emits_candidate_spans():
+    hub = TelemetryHub()
+    results, stats = run_tasks(_double, [1, 2, 3], hub=hub)
+    assert results == [2, 4, 6]
+    spans = hub.session.spans("exec")
+    assert len(spans) == 3
+    # Deterministic pseudo-time axis: task i occupies [i, i+1).
+    assert [(s.start, s.end) for s in spans] == [(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+    assert hub.metrics.counter("exec.tasks") == 3
+
+
+def test_sweep_executor_memo_counters_match_stats():
+    from repro.core import compare, job_175b
+
+    hub = TelemetryHub()
+    jobs = [job_175b(256, 768), job_175b(512, 768)]
+    _, stats = run_tasks(compare, jobs, hub=hub)
+    total_hits = sum(
+        hub.metrics.counter("exec.memo_hits", cache=name) for name in stats.caches
+    )
+    total_misses = sum(
+        hub.metrics.counter("exec.memo_misses", cache=name) for name in stats.caches
+    )
+    assert total_hits == stats.hits
+    assert total_misses == stats.misses
+    spans = hub.session.spans("exec")
+    assert sum(s.attr("memo_hits") for s in spans) == stats.hits
+
+
+# -- production run integration ----------------------------------------------
+
+
+def _production_run(hub, seed=7, weeks=1.0):
+    plan = plan_for_gpus(256, tp=8, pp=8)
+    injector = FaultInjector(n_nodes=256, rng=np.random.default_rng(seed))
+    run = ProductionRun(
+        plan,
+        injector,
+        planner=CheckpointPlanner(model=GPT_175B, plan=plan),
+        rng=np.random.default_rng(seed),
+        hub=hub,
+    )
+    return run, run.run(weeks * 7 * 86400.0)
+
+
+def test_production_run_emits_fault_and_monitor_telemetry():
+    hub = TelemetryHub()
+    run, result = _production_run(hub)
+    assert result.restarts >= 1
+    fault_spans = hub.session.spans("fault")
+    assert {s.name for s in fault_spans} >= {"detect", "recover"}
+    arrivals = [i for i in hub.session.instants if i.subsystem == "fault"]
+    assert len(arrivals) >= result.restarts
+    findings = [i for i in hub.session.instants if i.subsystem == "monitor"]
+    assert len(findings) >= result.restarts  # one transfer verdict per incident
+    assert run.monitors is not None and len(run.monitors.findings) == len(findings)
+    # Instants fire at the simulated detection time, inside the recovery span.
+    recover = {(s.rank, s.start): s for s in fault_spans if s.name == "recover"}
+    for inst in findings:
+        assert any(
+            s.start <= inst.ts <= s.end for s in fault_spans if s.name == "recover"
+        )
+    # Effective-iterations gauge tracked the run.
+    series = hub.metrics.gauge_series("fault.effective_iterations", rank=0)
+    assert series and series[-1][1] == pytest.approx(result.effective_iterations)
+
+
+def test_production_trace_document_is_deterministic():
+    docs = []
+    for _ in range(2):
+        hub = TelemetryHub()
+        _production_run(hub, seed=11, weeks=0.5)
+        docs.append(json.dumps(hub.to_chrome_trace(), sort_keys=True))
+    assert docs[0] == docs[1]
+
+
+def test_production_without_hub_unchanged():
+    """hub=None must not perturb the priced timeline (same rng draws)."""
+    _, with_hub = _production_run(TelemetryHub(), seed=13, weeks=0.5)
+    plan = plan_for_gpus(256, tp=8, pp=8)
+    injector = FaultInjector(n_nodes=256, rng=np.random.default_rng(13))
+    bare = ProductionRun(
+        plan,
+        injector,
+        planner=CheckpointPlanner(model=GPT_175B, plan=plan),
+        rng=np.random.default_rng(13),
+    ).run(0.5 * 7 * 86400.0)
+    assert bare.restarts == with_hub.restarts
+    assert bare.completed_iterations == with_hub.completed_iterations
+    assert bare.wall_time == with_hub.wall_time

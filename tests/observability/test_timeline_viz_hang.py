@@ -137,6 +137,55 @@ def test_localize_hang_validation():
         simulate_timeout_logs(PLAN, faulty_ranks=[PLAN.world_size])
 
 
+def test_localize_hang_inconsistent_when_waiters_point_elsewhere():
+    # Rank 5 is silent, but every waiter logs an operation the dependency
+    # graph cannot resolve — nothing points at the hung rank, so the
+    # diagnosis must flag the logs as inconsistent rather than trusting them.
+    logs = {r: "host.gc_pause" for r in range(PLAN.world_size)}
+    logs[5] = None
+    diagnosis = localize_hang(PLAN, logs)
+    assert diagnosis.hung_ranks == {5}
+    assert not diagnosis.consistent
+
+
+def test_localize_hang_all_silent_is_vacuously_consistent():
+    # No waiter logged anything: there is no evidence to contradict.
+    logs = {r: None for r in range(PLAN.world_size)}
+    diagnosis = localize_hang(PLAN, logs)
+    assert diagnosis.hung_ranks == set(range(PLAN.world_size))
+    assert diagnosis.waiting_ranks == {}
+    assert diagnosis.consistent
+
+
+def test_fault_driver_timeline_renders_recovery_spans():
+    # A hub-instrumented production run yields a fault lane whose spans
+    # load straight into the timeline tooling used for hang forensics.
+    import numpy as np
+
+    from repro.fault import CheckpointPlanner, FaultInjector, ProductionRun
+    from repro.model import GPT_175B
+    from repro.observability import TelemetryHub
+    from repro.parallel import plan_for_gpus
+
+    hub = TelemetryHub()
+    plan = plan_for_gpus(256, tp=8, pp=8)
+    run = ProductionRun(
+        plan,
+        FaultInjector(n_nodes=256, rng=np.random.default_rng(5)),
+        planner=CheckpointPlanner(model=GPT_175B, plan=plan),
+        rng=np.random.default_rng(5),
+        hub=hub,
+    )
+    result = run.run(7 * 86400.0)
+    assert result.restarts >= 1
+    tl = DistributedTimeline.from_trace(hub.recorder("fault"))
+    assert tl.span_count >= 2 * result.restarts  # detect + recover per incident
+    start, end = tl.extent()
+    assert 0.0 <= start < end <= result.wall_time
+    text = tl.render_ascii(width=72)
+    assert "rank" in text and "#" in text
+
+
 # -- MFU decline attribution -------------------------------------------------
 
 

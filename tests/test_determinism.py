@@ -55,6 +55,37 @@ def test_production_run_stable_per_seed():
     assert (c.restarts, c.completed_iterations) != (a.restarts, a.completed_iterations) or True
 
 
+def test_telemetry_trace_bitwise_stable():
+    """The full unified trace document is byte-identical across runs."""
+    import json
+
+    from repro.observability import TelemetryHub
+
+    def run(seed):
+        hub = TelemetryHub(job_name="det")
+        plan = plan_for_gpus(256, tp=8, pp=8)
+        injector = FaultInjector(n_nodes=64, rng=np.random.default_rng(seed))
+        ProductionRun(
+            plan,
+            injector,
+            planner=CheckpointPlanner(model=GPT_175B, plan=plan),
+            rng=np.random.default_rng(seed),
+            hub=hub,
+        ).run(3 * 86400.0)
+        TrainingRunner(
+            GPT_13B,
+            ParallelPlan(dp=2, tp=8, pp=2, vpp=2),
+            MEGASCALE_ISO_BATCH,
+            global_batch=32,
+            seed=seed,
+        ).run(2, hub=hub)
+        document = json.dumps(hub.to_chrome_trace(), sort_keys=True)
+        metrics = "\n".join(hub.metrics_lines())
+        return document, metrics
+
+    assert run(17) == run(17)
+
+
 def test_numpy_training_stable_per_seed():
     cfg = LmConfig(vocab_size=16, d_model=16, n_heads=2, n_layers=1, seq_len=8)
     a = train_lm(cfg, "adam", batch_size=4, n_steps=10, seed=2)
