@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Benchmark the bound-and-prune plan search against brute force.
+
+For each (model, n_gpus, global_batch) configuration the script runs the
+tuner twice — exhaustively and with bound-and-prune — and records wall
+clock, engine-evaluation counts, prune rates, and whether the top-k
+leaderboards are bit-identical (they must be; the script exits non-zero
+otherwise, which is what the CI ``bench-smoke`` job asserts).
+
+Results land in ``BENCH_tune.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_tune.py            # full set
+    PYTHONPATH=src python benchmarks/bench_tune.py --small    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_tune.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.exec.memo import clear_caches
+from repro.model import GPT_13B, GPT_175B
+from repro.parallel.search import search_plans
+
+FULL_CONFIGS = [
+    ("gpt-13b", GPT_13B, 32, 128),
+    ("gpt-175b", GPT_175B, 256, 256),
+    ("gpt-175b", GPT_175B, 512, 768),
+    ("gpt-175b", GPT_175B, 1024, 768),
+]
+
+SMALL_CONFIGS = [
+    ("gpt-13b", GPT_13B, 16, 64),
+    ("gpt-13b", GPT_13B, 32, 128),
+]
+
+
+def _run(model, n_gpus, batch, top_k, exhaustive):
+    """One timed search from a cold cost-model cache."""
+    clear_caches()
+    t0 = time.perf_counter()
+    result = search_plans(model, n_gpus, batch, top_k=top_k, exhaustive=exhaustive)
+    return result, time.perf_counter() - t0
+
+
+def bench_config(name, model, n_gpus, batch, top_k=5):
+    brute, brute_s = _run(model, n_gpus, batch, top_k, exhaustive=True)
+    pruned, pruned_s = _run(model, n_gpus, batch, top_k, exhaustive=False)
+    identical = pruned.top == brute.top
+    s = pruned.stats
+    return {
+        "model": name,
+        "n_gpus": n_gpus,
+        "global_batch": batch,
+        "top_k": top_k,
+        "feasible_candidates": s.feasible,
+        "brute_force": {
+            "engine_evals": brute.stats.evaluated,
+            "wall_clock_s": round(brute_s, 4),
+        },
+        "pruned": {
+            "engine_evals": s.evaluated,
+            "wall_clock_s": round(pruned_s, 4),
+            "dominance_pruned": s.dominance_pruned,
+            "bound_pruned": s.bound_pruned,
+            "prune_rate": round(s.prune_rate, 4),
+        },
+        "eval_fraction": round(s.evaluated / max(1, brute.stats.evaluated), 4),
+        "identical_topk": identical,
+        "best_plan": pruned.top[0].plan.describe(),
+        "best_mfu": round(pruned.top[0].mfu, 4),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true", help="CI smoke subset (13B only, fast)"
+    )
+    parser.add_argument("-o", "--output", default="BENCH_tune.json")
+    args = parser.parse_args(argv)
+
+    configs = SMALL_CONFIGS if args.small else FULL_CONFIGS
+    results = []
+    for name, model, n_gpus, batch in configs:
+        row = bench_config(name, model, n_gpus, batch)
+        results.append(row)
+        frac = row["eval_fraction"]
+        flag = "ok" if row["identical_topk"] else "MISMATCH"
+        print(
+            f"{name:>9s} @ {n_gpus:>5d} GPUs: "
+            f"{row['pruned']['engine_evals']:>3d}/{row['brute_force']['engine_evals']:>3d} "
+            f"engine evals ({frac:.0%}), "
+            f"{row['brute_force']['wall_clock_s']:.2f}s -> "
+            f"{row['pruned']['wall_clock_s']:.2f}s, top-k {flag}"
+        )
+
+    doc = {"benchmark": "bound-and-prune plan search", "configs": results}
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if not all(r["identical_topk"] for r in results):
+        print("FAIL: pruned top-k diverged from brute force", file=sys.stderr)
+        return 1
+    large = [r for r in results if r["n_gpus"] >= 1024]
+    if any(r["eval_fraction"] > 0.5 for r in large):
+        print("FAIL: pruned search exceeded 50% of brute-force evals", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

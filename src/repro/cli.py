@@ -234,19 +234,41 @@ def cmd_trace(args) -> int:
 
 def cmd_tune(args) -> int:
     from .model import MODEL_CATALOG
-    from .parallel import tune
+    from .parallel import tune_with_stats
 
-    results = tune(
+    hub = _make_hub(args, "tune")
+    cache = None
+    if args.cache_dir:
+        import os
+
+        from .exec import PersistentMemo
+
+        cache = PersistentMemo(os.path.join(args.cache_dir, "plan-search.pkl"))
+    results, stats = tune_with_stats(
         MODEL_CATALOG[args.model],
         n_gpus=args.gpus,
         global_batch=args.batch,
         top_k=args.top,
         gpus_per_node=args.gpus_per_node,
         max_micro_batch=args.max_micro_batch,
+        max_candidates=args.max_candidates,
         workers=args.workers,
+        hub=hub,
+        cache=cache,
+        exhaustive=args.exhaustive,
     )
     for i, result in enumerate(results, 1):
         print(f"#{i}  {result.describe()}")
+    print()
+    print(stats.describe())
+    if stats.capped:
+        print(
+            f"WARNING: --max-candidates dropped {stats.capped} feasible "
+            "candidates; the leaderboard may miss the true optimum."
+        )
+    if cache is not None:
+        print(f"persistent cache: {len(cache)} priced points at {cache.path}")
+    _save_hub(hub, args)
     return 0
 
 
@@ -300,7 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ASCII rendering width (default 72)")
     p.set_defaults(func=cmd_trace)
 
-    p = sub.add_parser("tune", help="auto-tune 3D parallelism")
+    p = sub.add_parser("tune", help="auto-tune 3D parallelism (exact bound-and-prune search)")
     _add_job_args(p)
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--gpus-per-node", type=int, default=8,
@@ -309,6 +331,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="largest micro-batch size searched")
     p.add_argument("--workers", type=int, default=0,
                    help="worker processes for candidate evaluation (0 = serial)")
+    p.add_argument("--max-candidates", type=int, default=None,
+                   help="legacy cap on the candidate list (warns when it drops "
+                        "candidates; the default searches the full space exactly)")
+    p.add_argument("--exhaustive", action="store_true",
+                   help="price every feasible candidate (disables pruning; "
+                        "useful to verify the pruned search)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persist priced plans across runs in DIR/plan-search.pkl "
+                        "(versioned by cost-model fingerprint, safe to delete)")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write search telemetry (spans/counters on the exec lane) "
+                        "as a unified trace + .metrics.jsonl sidecar")
     p.set_defaults(func=cmd_tune)
 
     return parser

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..exec.memo import memoized
 from ..hardware.node import NodeSpec
 from ..network.topology import ClosFabric
 from ..parallel.placement import Placement
@@ -31,6 +32,7 @@ DEFAULT_CC_EFFICIENCY = 0.90
 INTER_NODE_LATENCY = 12e-6  # NIC + 2-6 switch hops + software
 
 
+@memoized("conflict_factor")
 def cross_pod_conflict_factor(active_nodes_per_pod: int = 64, uplinks: int = 32) -> float:
     """Expected throughput factor for traffic crossing the ToR uplinks.
 

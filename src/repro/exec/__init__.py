@@ -23,8 +23,11 @@ Usage::
 
 from .executor import SweepExecutor, run_tasks
 from .memo import (
+    MemoCache,
+    PersistentMemo,
     cache_snapshot,
     clear_caches,
+    cost_model_fingerprint,
     get_cache,
     memoized,
     registered_caches,
@@ -34,10 +37,13 @@ from .stats import CacheReport, SweepStats
 
 __all__ = [
     "CacheReport",
+    "MemoCache",
+    "PersistentMemo",
     "SweepExecutor",
     "SweepStats",
     "cache_snapshot",
     "clear_caches",
+    "cost_model_fingerprint",
     "get_cache",
     "memoized",
     "registered_caches",

@@ -21,19 +21,30 @@ modules import it at definition time).
 from __future__ import annotations
 
 import functools
-from typing import Any, Callable, Dict, Tuple, TypeVar
+from typing import Any, Callable, Dict, Optional, Tuple, TypeVar
 
 F = TypeVar("F", bound=Callable[..., Any])
 
 
 class MemoCache:
-    """One named memoization cache with hit/miss counters."""
+    """One named memoization cache with hit/miss/eviction counters.
 
-    def __init__(self, name: str) -> None:
+    ``maxsize=None`` (the default) keeps the cache unbounded, the
+    historical behaviour.  With a positive ``maxsize`` the cache evicts
+    its least-recently-used entry once full, so long production runs and
+    persistent caches don't grow without limit; evictions are counted
+    and surface in :class:`~repro.exec.stats.SweepStats`.
+    """
+
+    def __init__(self, name: str, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
         self.name = name
-        self.store: Dict[Any, Any] = {}
+        self.maxsize = maxsize
+        self.store: Dict[Any, Any] = {}  # insertion order == recency order
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @property
     def calls(self) -> int:
@@ -42,6 +53,21 @@ class MemoCache:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.calls if self.calls else 0.0
+
+    def get(self, key: Any) -> Any:
+        """The cached value (refreshing recency); KeyError on a miss."""
+        value = self.store.pop(key)  # KeyError propagates on miss
+        self.store[key] = value  # re-insert: most recently used
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        """Insert a value, evicting the LRU entry if over ``maxsize``."""
+        self.store.pop(key, None)
+        self.store[key] = value
+        if self.maxsize is not None and len(self.store) > self.maxsize:
+            oldest = next(iter(self.store))
+            del self.store[oldest]
+            self.evictions += 1
 
     def clear(self) -> None:
         """Drop entries; counters are kept (they describe past calls)."""
@@ -52,17 +78,26 @@ class MemoCache:
         self.store.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 # Registry of every cache created via @memoized, keyed by name.
 _REGISTRY: Dict[str, MemoCache] = {}
 
 
-def get_cache(name: str) -> MemoCache:
-    """The cache registered under ``name`` (created on first use)."""
+def get_cache(name: str, maxsize: Optional[int] = None) -> MemoCache:
+    """The cache registered under ``name`` (created on first use).
+
+    ``maxsize`` applies only when the cache is first created (or when
+    passed explicitly later, which rebounds an existing cache).
+    """
     cache = _REGISTRY.get(name)
     if cache is None:
-        cache = _REGISTRY[name] = MemoCache(name)
+        cache = _REGISTRY[name] = MemoCache(name, maxsize=maxsize)
+    elif maxsize is not None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        cache.maxsize = maxsize
     return cache
 
 
@@ -71,18 +106,19 @@ def registered_caches() -> Dict[str, MemoCache]:
     return dict(_REGISTRY)
 
 
-def memoized(name: str) -> Callable[[F], F]:
+def memoized(name: str, maxsize: Optional[int] = None) -> Callable[[F], F]:
     """Memoize a pure function under a named, inspectable cache.
 
     The key is the full positional + keyword argument tuple; unhashable
     arguments fall through to a plain call (counted as a miss) so the
     decorator never changes semantics.  The wrapped function gains a
     ``cache`` attribute (its :class:`MemoCache`) and a
-    ``__wrapped__`` attribute (the raw function).
+    ``__wrapped__`` attribute (the raw function).  ``maxsize`` bounds
+    the cache with LRU eviction (None = unbounded, the default).
     """
 
     def decorate(fn: F) -> F:
-        cache = get_cache(name)
+        cache = get_cache(name, maxsize=maxsize)
 
         @functools.wraps(fn)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
@@ -94,10 +130,10 @@ def memoized(name: str) -> Callable[[F], F]:
                 return fn(*args, **kwargs)
             if hit:
                 cache.hits += 1
-                return cache.store[key]
+                return cache.get(key)
             cache.misses += 1
             value = fn(*args, **kwargs)
-            cache.store[key] = value
+            cache.put(key, value)
             return value
 
         wrapper.cache = cache  # type: ignore[attr-defined]
@@ -135,6 +171,16 @@ def merge_deltas(deltas: Tuple[Snapshot, ...] | list) -> Snapshot:
     return total
 
 
+def eviction_snapshot() -> Dict[str, int]:
+    """Current eviction count of every registered cache."""
+    return {name: c.evictions for name, c in _REGISTRY.items()}
+
+
+def eviction_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    """Eviction growth between two snapshots (missing names count from 0)."""
+    return {name: count - before.get(name, 0) for name, count in after.items()}
+
+
 def clear_caches() -> None:
     """Drop all cached entries (counters survive)."""
     for cache in _REGISTRY.values():
@@ -145,3 +191,145 @@ def reset_caches() -> None:
     """Drop all cached entries and zero all counters."""
     for cache in _REGISTRY.values():
         cache.reset()
+
+
+# -- persistent cross-run cache ----------------------------------------------
+
+# Modules whose source text defines the priced quantities.  Changing any
+# of them changes what a cached result *means*, so their joint hash
+# versions every persistent cache.  Import-name strings (not module
+# objects) keep this module dependency-free within repro.
+_COST_MODEL_MODULES = (
+    "repro.model.blocks",
+    "repro.model.flops",
+    "repro.model.memory",
+    "repro.model.operators",
+    "repro.collectives.primitives",
+    "repro.collectives.groups",
+    "repro.network.ecmp",
+    "repro.parallel.zero",
+    "repro.parallel.pipeline",
+    "repro.training.iteration",
+    "repro.training.overlap",
+    "repro.training.datapipe",
+)
+
+
+def cost_model_fingerprint() -> str:
+    """A hash that changes whenever any cost-model module's source does.
+
+    Persistent caches embed this fingerprint; a mismatch on load makes
+    the cache start empty, so stale prices can never leak across code
+    changes.  Falls back to the package version for module sources that
+    cannot be read (zipped installs).
+    """
+    import hashlib
+    import importlib
+
+    digest = hashlib.sha256()
+    for module_name in _COST_MODEL_MODULES:
+        digest.update(module_name.encode())
+        try:
+            module = importlib.import_module(module_name)
+            with open(module.__file__, "rb") as fh:  # type: ignore[arg-type]
+                digest.update(fh.read())
+        except (ImportError, OSError, TypeError):
+            digest.update(b"unreadable")
+    return digest.hexdigest()[:16]
+
+
+class PersistentMemo:
+    """A disk-backed memo shared across ``tune``/``sweep`` invocations.
+
+    One pickle file holds ``{fingerprint, entries}``; entries whose
+    fingerprint no longer matches the current cost models are discarded
+    on load, so the file is always safe to keep *and* safe to delete.
+    Keys are caller-built strings (see
+    :func:`repro.parallel.search.plan_cache_key`); values are arbitrary
+    picklable results.  ``maxsize`` bounds the entry count with LRU
+    eviction, like :class:`MemoCache`.
+
+    Writes are buffered: ``put`` marks the store dirty and ``flush``
+    (also called by ``__exit__``) atomically replaces the file.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fingerprint: Optional[str] = None,
+        maxsize: Optional[int] = None,
+    ) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, got {maxsize}")
+        self.path = path
+        self.fingerprint = fingerprint or cost_model_fingerprint()
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stale_dropped = 0
+        self._dirty = False
+        self.entries: Dict[str, Any] = self._load()
+
+    def _load(self) -> Dict[str, Any]:
+        import os
+        import pickle
+
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path, "rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+            return {}  # corrupt or foreign file: start fresh, never crash
+        if not isinstance(payload, dict) or payload.get("fingerprint") != self.fingerprint:
+            entries = payload.get("entries", {}) if isinstance(payload, dict) else {}
+            self.stale_dropped = len(entries)
+            return {}
+        return dict(payload.get("entries", {}))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up one priced point, counting the hit or miss."""
+        if key in self.entries:
+            self.hits += 1
+            value = self.entries.pop(key)
+            self.entries[key] = value  # refresh recency
+            return value
+        self.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        self.entries.pop(key, None)
+        self.entries[key] = value
+        if self.maxsize is not None and len(self.entries) > self.maxsize:
+            oldest = next(iter(self.entries))
+            del self.entries[oldest]
+            self.evictions += 1
+        self._dirty = True
+
+    def flush(self) -> None:
+        """Atomically persist the store (no-op when nothing changed)."""
+        import os
+        import pickle
+
+        if not self._dirty:
+            return
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump({"fingerprint": self.fingerprint, "entries": self.entries}, fh)
+        os.replace(tmp, self.path)
+        self._dirty = False
+
+    def __enter__(self) -> "PersistentMemo":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.flush()

@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Mapping, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 
 @dataclass(frozen=True)
 class CacheReport:
-    """Hit/miss counts of one cost-model cache over one sweep."""
+    """Hit/miss/eviction counts of one cost-model cache over one sweep."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def calls(self) -> int:
@@ -29,12 +30,15 @@ class SweepStats:
     ``caches`` maps cache name (e.g. ``"block_cost"``) to the hit/miss
     counts accumulated *by this sweep's tasks only* — the executor
     snapshots counters around each task, so concurrent or prior users of
-    the caches don't pollute the report.
+    the caches don't pollute the report.  ``persistent_hits`` counts
+    tasks answered from a cross-run :class:`~repro.exec.memo.PersistentMemo`
+    without executing at all.
     """
 
     n_tasks: int
     workers: int  # 0 means the serial in-process path
     caches: Dict[str, CacheReport] = field(default_factory=dict)
+    persistent_hits: int = 0
 
     @property
     def hits(self) -> int:
@@ -49,34 +53,84 @@ class SweepStats:
         return self.hits + self.misses
 
     @property
+    def evictions(self) -> int:
+        """LRU evictions across all bounded cost-model caches."""
+        return sum(c.evictions for c in self.caches.values())
+
+    @property
     def hit_rate(self) -> float:
         """Aggregate cost-model cache hit rate across all caches."""
         return self.hits / self.calls if self.calls else 0.0
 
     def describe(self) -> str:
         mode = "serial" if self.workers == 0 else f"{self.workers} workers"
-        lines = [
+        header = (
             f"sweep: {self.n_tasks} tasks ({mode}), "
             f"cost-model cache hit rate {self.hit_rate:.1%} "
             f"({self.hits}/{self.calls} calls)"
-        ]
+        )
+        if self.persistent_hits:
+            header += f", {self.persistent_hits} served from the persistent cache"
+        lines = [header]
         for name in sorted(self.caches):
             c = self.caches[name]
-            lines.append(
+            line = (
                 f"  {name:<20s} {c.hits:>6d} hits {c.misses:>6d} misses "
                 f"({c.hit_rate:.1%})"
             )
+            if c.evictions:
+                line += f" {c.evictions} evicted"
+            lines.append(line)
         return "\n".join(lines)
 
     @staticmethod
     def from_counters(
-        counters: Mapping[str, Tuple[int, int]], n_tasks: int, workers: int
+        counters: Mapping[str, Tuple[int, int]],
+        n_tasks: int,
+        workers: int,
+        evictions: Optional[Mapping[str, int]] = None,
+        persistent_hits: int = 0,
     ) -> "SweepStats":
         """Build a report from ``{name: (hits, misses)}`` counter deltas."""
+        evictions = evictions or {}
+        names = set(counters) | set(evictions)
         return SweepStats(
             n_tasks=n_tasks,
             workers=workers,
             caches={
-                name: CacheReport(hits=h, misses=m) for name, (h, m) in counters.items()
+                name: CacheReport(
+                    hits=counters.get(name, (0, 0))[0],
+                    misses=counters.get(name, (0, 0))[1],
+                    evictions=evictions.get(name, 0),
+                )
+                for name in names
             },
+            persistent_hits=persistent_hits,
+        )
+
+    @staticmethod
+    def merge(parts: Iterable["SweepStats"]) -> "SweepStats":
+        """Sum reports from sequential batches of one logical sweep.
+
+        ``workers`` comes from the first part (batches of one search run
+        share an executor configuration).
+        """
+        parts = list(parts)
+        if not parts:
+            return SweepStats(n_tasks=0, workers=0)
+        caches: Dict[str, CacheReport] = {}
+        for part in parts:
+            for name, report in part.caches.items():
+                prev = caches.get(name, CacheReport())
+                caches[name] = replace(
+                    prev,
+                    hits=prev.hits + report.hits,
+                    misses=prev.misses + report.misses,
+                    evictions=prev.evictions + report.evictions,
+                )
+        return SweepStats(
+            n_tasks=sum(p.n_tasks for p in parts),
+            workers=parts[0].workers,
+            caches=caches,
+            persistent_hits=sum(p.persistent_hits for p in parts),
         )

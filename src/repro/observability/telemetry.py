@@ -176,6 +176,14 @@ class MetricsRegistry:
             for (name, labels), series in sorted(self._gauges.items())
         ]
 
+    def counters(self, prefix: str = "") -> List[Tuple[str, LabelItems, float]]:
+        """All counters (optionally name-prefix filtered), sorted for stable export."""
+        return [
+            (name, labels, value)
+            for (name, labels), value in sorted(self._counters.items())
+            if name.startswith(prefix)
+        ]
+
     # -- export ------------------------------------------------------------
 
     def records(self) -> List[dict]:

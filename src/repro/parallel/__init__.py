@@ -13,7 +13,23 @@ from .pipeline import (
 )
 from .placement import Placement, packed_placement, validate_placement
 from .plan import ParallelPlan, plan_for_gpus
-from .tuner import TunedPlan, candidate_plans, feasible, shrink_dp_plans, tune
+from .search import (
+    CandidateBounds,
+    SearchResult,
+    SearchStats,
+    candidate_bounds,
+    dominance_prune,
+    plan_cache_key,
+    search_plans,
+)
+from .tuner import (
+    TunedPlan,
+    candidate_plans,
+    feasible,
+    shrink_dp_plans,
+    tune,
+    tune_with_stats,
+)
 from .zero import (
     DpCommEvent,
     chunk_grad_bytes,
@@ -25,15 +41,22 @@ from .zero import (
 )
 
 __all__ = [
+    "CandidateBounds",
     "DpCommEvent",
     "ParallelPlan",
     "PipelineTask",
+    "SearchResult",
+    "SearchStats",
     "Placement",
     "backward_dependency",
     "bubble_fraction",
+    "candidate_bounds",
     "chunk_grad_bytes",
     "chunk_param_bytes",
+    "dominance_prune",
     "dp_comm_events",
+    "plan_cache_key",
+    "search_plans",
     "forward_dependency",
     "gpipe_schedule",
     "interleaved_schedule",
@@ -47,6 +70,7 @@ __all__ = [
     "candidate_plans",
     "feasible",
     "tune",
+    "tune_with_stats",
     "shrink_dp_plans",
     "schedule_for",
     "sharded_state_summary",

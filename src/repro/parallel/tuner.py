@@ -126,6 +126,62 @@ def evaluate_plan(
     return TunedPlan(plan=plan, mfu=outcome.mfu, iteration_time=outcome.iteration_time)
 
 
+def tune_with_stats(
+    model: ModelSpec,
+    n_gpus: int,
+    global_batch: int,
+    features: FeatureSet = MEGASCALE_ISO_BATCH,
+    gpu: GpuSpec = AMPERE,
+    top_k: int = 5,
+    max_candidates: Optional[int] = None,
+    pp_limit: int = 64,
+    gpus_per_node: int = 8,
+    max_micro_batch: int = 2,
+    workers: int = 0,
+    hub=None,
+    cache=None,
+    exhaustive: bool = False,
+):
+    """Exact top-k plans *plus* the search accounting.
+
+    Returns ``(results, SearchStats)`` — see :func:`tune` for the
+    ranking semantics and :mod:`repro.parallel.search` for how pruning
+    preserves exactness.  The stats report enumerated / feasible /
+    dominance-pruned / bound-pruned / evaluated candidate counts, so no
+    truncation is ever silent.
+    """
+    import warnings
+
+    from .search import search_plans
+
+    result = search_plans(
+        model,
+        n_gpus,
+        global_batch,
+        features=features,
+        gpu=gpu,
+        top_k=top_k,
+        max_candidates=max_candidates,
+        pp_limit=pp_limit,
+        gpus_per_node=gpus_per_node,
+        max_micro_batch=max_micro_batch,
+        workers=workers,
+        hub=hub,
+        cache=cache,
+        exhaustive=exhaustive,
+    )
+    if result.stats.capped:
+        warnings.warn(
+            f"max_candidates={max_candidates} dropped {result.stats.capped} of "
+            f"{result.stats.feasible} feasible candidates before the search — "
+            "the true optimum may be among them.  Bound-and-prune makes the "
+            "full search affordable; drop the cap (max_candidates=None) to "
+            "search exactly.",
+            stacklevel=3,
+        )
+    return result.top, result.stats
+
+
 def tune(
     model: ModelSpec,
     n_gpus: int,
@@ -133,50 +189,49 @@ def tune(
     features: FeatureSet = MEGASCALE_ISO_BATCH,
     gpu: GpuSpec = AMPERE,
     top_k: int = 5,
-    max_candidates: Optional[int] = 64,
+    max_candidates: Optional[int] = None,
     pp_limit: int = 64,
     gpus_per_node: int = 8,
     max_micro_batch: int = 2,
     workers: int = 0,
+    hub=None,
+    cache=None,
+    exhaustive: bool = False,
 ) -> List[TunedPlan]:
-    """Evaluate feasible plans and return the ``top_k`` by MFU.
+    """The exact ``top_k`` feasible plans by MFU (= iteration time).
 
-    ``max_candidates`` caps engine evaluations (candidates are screened
-    cheapest-first by model-parallel size, which correlates with lower
-    communication); ``pp_limit`` bounds the pipeline depth searched.
-    ``gpus_per_node`` and ``max_micro_batch`` widen or narrow the search
-    space itself (they are forwarded to :func:`candidate_plans`).
-    ``workers`` fans candidate evaluation out over worker processes via
-    :mod:`repro.exec`; the ranking is deterministic either way.
+    The search is exact without brute force: every feasible candidate is
+    either priced by the :class:`~repro.training.iteration.IterationEngine`
+    or *certified* out of the top-k by an admissible analytic bound
+    (:mod:`repro.parallel.search`).  Ranking is iteration time ascending
+    — identical to MFU descending, since every candidate fills the same
+    ``n_gpus`` — with exact ties in the canonical candidate order.
+
+    ``max_candidates`` is a legacy cap on the candidate list; passing it
+    warns when candidates were dropped (results may then miss the true
+    optimum).  ``pp_limit`` bounds the pipeline depth searched;
+    ``gpus_per_node`` and ``max_micro_batch`` widen or narrow the space
+    itself (forwarded to :func:`candidate_plans`).  ``workers`` fans
+    exact pricing out over worker processes via :mod:`repro.exec`;
+    ``cache`` (a :class:`~repro.exec.memo.PersistentMemo`) carries
+    priced points across runs; ``hub`` collects search telemetry on the
+    ``exec`` lane.  Use :func:`tune_with_stats` to also get the
+    enumerated / pruned / evaluated accounting.
     """
-    import functools
-
-    from ..exec import run_tasks
-
-    if top_k < 1:
-        raise ValueError("top_k must be >= 1")
-    screened = [
-        plan
-        for plan in candidate_plans(
-            model, n_gpus, gpus_per_node=gpus_per_node, max_micro_batch=max_micro_batch
-        )
-        if plan.pp <= pp_limit and feasible(model, plan, gpu, global_batch)
-    ]
-    if not screened:
-        raise ValueError(
-            f"no feasible plan for {model.name} on {n_gpus} GPUs at batch {global_batch}"
-        )
-    # Prefer smaller model-parallel footprints (less communication), then
-    # deeper interleaving; evaluate at most max_candidates.
-    screened.sort(key=lambda p: (p.tp * p.pp, -p.vpp, p.micro_batch))
-    if max_candidates is not None:
-        screened = screened[:max_candidates]
-
-    price = functools.partial(
-        evaluate_plan, model=model, features=features, gpu=gpu, global_batch=global_batch
+    results, _stats = tune_with_stats(
+        model,
+        n_gpus,
+        global_batch,
+        features=features,
+        gpu=gpu,
+        top_k=top_k,
+        max_candidates=max_candidates,
+        pp_limit=pp_limit,
+        gpus_per_node=gpus_per_node,
+        max_micro_batch=max_micro_batch,
+        workers=workers,
+        hub=hub,
+        cache=cache,
+        exhaustive=exhaustive,
     )
-    results, _stats = run_tasks(price, screened, workers=workers)
-    # Stable sort over the insertion-ordered results: ties rank the same
-    # whether evaluated serially or in parallel.
-    results.sort(key=lambda t: -t.mfu)
-    return results[:top_k]
+    return results

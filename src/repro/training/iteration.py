@@ -31,6 +31,38 @@ from .overlap import dp_exposed_time, pp_policy, tp_exposed_per_layer
 
 
 @dataclass(frozen=True)
+class IterationBounds:
+    """Closed-form brackets on :meth:`IterationEngine.simulate` time.
+
+    Computed without executing the pipeline task graph, so they cost
+    microseconds instead of milliseconds.  The guarantees (for the
+    default ``simulate`` arguments — uniform stage speeds, zero
+    perturbation) are:
+
+    * ``lower <= simulate(global_batch).iteration_time <= upper``
+    * ``estimate`` is a coarse closed-form guess with **no** guarantee;
+      it exists to order candidates so that a branch-and-bound search
+      tightens its incumbent early.
+
+    Component floors (``compute_floor``, ``bubble_floor``,
+    ``comm_floor``) are the analytic terms the lower bound is built
+    from; each is individually a valid floor on its phase of the
+    iteration.
+    """
+
+    lower: float
+    upper: float
+    estimate: float
+    compute_floor: float  # busiest stage's serial compute (pipeline phase)
+    bubble_floor: float  # warm-up + cool-down dependency chains
+    comm_floor: float  # exposed DP communication (alpha-beta models)
+
+    def __post_init__(self) -> None:
+        if not self.lower <= self.upper:
+            raise ValueError(f"lower bound {self.lower} exceeds upper bound {self.upper}")
+
+
+@dataclass(frozen=True)
 class IterationResult:
     """One simulated optimizer step."""
 
@@ -263,6 +295,85 @@ class IterationEngine:
             for stage in range(p)
         ]
 
+    # -- analytic bounds (no task-graph execution) ---------------------------------
+
+    def _dp_phase_times(self, global_batch: int):
+        """(data_cost, dp_exposure, optimizer_time) — the closed-form,
+        non-pipeline phases of :meth:`simulate`, priced exactly."""
+        data = data_pipeline_cost(self.base_model, self.plan, global_batch, self.features)
+        window = overlap_window(data, self.features)
+        events = dp_comm_events(self.base_model, self.plan)
+        times = [self.comm.dp_collective_time(e.kind, e.size) for e in events]
+        dp = dp_exposed_time(times, self.features, data_load_window=window)
+        optimizer = optimizer_step_time(self.base_model, self.plan, self.gpu.memory_bandwidth)
+        return data, dp, optimizer
+
+    def analytic_bounds(self, global_batch: int) -> IterationBounds:
+        """Admissible lower / pessimistic upper bracket on ``simulate``.
+
+        Everything outside the pipeline phase (data stall, exposed DP
+        communication, optimizer step) is closed-form and priced exactly.
+        The pipeline makespan is bracketed:
+
+        * **Lower** — every stage's schedule begins with the forward of
+          (micro-batch 0, chunk 0) and ends with the backward of (last
+          micro-batch, chunk 0), so the makespan is at least the warm-up
+          chain into the last stage (``(p-1)`` forwards + p2p hops), plus
+          that stage's serial work (``m·v·(F+B)`` + logits extras), plus
+          the cool-down chain back to stage 0 (``(p-1)`` backwards + p2p
+          hops).  With ``v`` interleaved chunks the chain terms carry the
+          classic ``(p-1)/(v·m)`` bubble fraction.  DP exposure is
+          floored at the overlap model's value (the NIC-spill term of
+          ``simulate`` can only add).
+        * **Upper** — at any instant before completion some stage is
+          either computing or a p2p transfer is in flight, so the
+          makespan never exceeds the sum of all stages' serial work plus
+          every dependency edge's transfer time; DP exposure is capped
+          at the total collective time (everything spills).
+
+        Bounds hold for the default ``simulate`` arguments (uniform
+        stage speeds, no perturbation) — the configuration :func:`tune`
+        prices.
+        """
+        plan = self.plan
+        m = plan.n_microbatches(global_batch)
+        p, v = plan.pp, plan.vpp
+        F, B = self.f_chunk, self.b_chunk
+        p2p = self.p2p_time if p > 1 else 0.0
+        logits = self.logits_fwd + self.logits_bwd
+
+        stage_work = m * v * (F + B)
+        busy_last = stage_work + m * logits
+        busy_first = stage_work + m * self.embed_extra + (m * logits if p == 1 else 0.0)
+        compute_floor = max(busy_first, busy_last)
+        bubble_floor = (p - 1) * (F + B + 2.0 * p2p)
+        pipeline_lower = max(compute_floor, busy_last + bubble_floor)
+
+        # Upper: all serial work anywhere + every edge's transfer + the
+        # worst-case sender-side blocking of each actual send.
+        sends = sum(self.pp_send_counts(m)) if p > 1 else 0
+        total_busy = (
+            p * stage_work + m * self.embed_extra + m * logits + sends * p2p
+        )
+        pipeline_upper = total_busy + 2.0 * m * v * p * p2p
+
+        data, dp, optimizer = self._dp_phase_times(global_batch)
+        base = data.exposed_stall + optimizer
+        lower = base + pipeline_lower + dp.exposed
+        upper = base + pipeline_upper + dp.total_comm
+        # Coarse single-expression guess: classic bubble-augmented stage
+        # work plus the exact closed-form phases.  Orders candidates
+        # well; guarantees nothing.
+        estimate = base + busy_last + bubble_floor + dp.exposed
+        return IterationBounds(
+            lower=lower,
+            upper=upper,
+            estimate=estimate,
+            compute_floor=compute_floor,
+            bubble_floor=bubble_floor,
+            comm_floor=dp.exposed,
+        )
+
     # -- full iteration ------------------------------------------------------------
 
     def simulate(
@@ -285,14 +396,7 @@ class IterationEngine:
         speeds = [s * speed_factor for s in speeds]
         pipeline, busy = self.pipeline_makespan(m, speeds)
 
-        data = data_pipeline_cost(self.base_model, plan, global_batch, self.features)
-        window = overlap_window(data, self.features)
-
-        events = dp_comm_events(self.base_model, plan)
-        times = [
-            self.comm.dp_collective_time(e.kind, e.size) for e in events
-        ]
-        dp = dp_exposed_time(times, self.features, data_load_window=window)
+        data, dp, optimizer = self._dp_phase_times(global_batch)
         # Hidden DP traffic still needs NIC-seconds, and the NIC is also
         # carrying pipeline p2p transfers; if the pipeline phase is too
         # short to absorb both, the excess surfaces on the critical path.
@@ -307,8 +411,6 @@ class IterationEngine:
         nic_budget = max(0.0, pipeline - pp_nic_time)
         spill = max(0.0, hidden - nic_budget)
         dp_exposed = dp.exposed + spill
-
-        optimizer = optimizer_step_time(self.base_model, plan, self.gpu.memory_bandwidth)
 
         total = data.exposed_stall + pipeline + dp_exposed + optimizer + perturbation
         flops = iteration_model_flops(self.base_model, global_batch)

@@ -13,7 +13,20 @@ from typing import Callable, List, Optional, Sequence
 from ..core.config import TrainingJob
 from ..core.megascale import TrainingSystem, compare
 from ..core.report import Comparison
-from ..exec import SweepStats, run_tasks
+from ..exec import PersistentMemo, SweepStats, run_tasks
+
+
+def job_cache_key(kind: str, fn: Callable, job: TrainingJob) -> str:
+    """Stable persistent-cache key for one sweep point.
+
+    The dataclass reprs carry every field that influences the result;
+    the comparison function's qualified name separates e.g. ``compare``
+    sweeps from custom pricing functions.  Cost-model *code* changes are
+    handled by the memo's fingerprint.
+    """
+    fn_name = getattr(fn, "__qualname__", None) or repr(fn)
+    fn_module = getattr(fn, "__module__", "")
+    return f"sweep:{kind}:{fn_module}.{fn_name}|{job!r}"
 
 
 @dataclass(frozen=True)
@@ -80,13 +93,25 @@ def _run_comparison_sweep(
     batches: Sequence[int],
     compare_fn: Callable[[TrainingJob], Comparison],
     workers: int,
+    cache: Optional[PersistentMemo] = None,
 ) -> SweepResult:
     """Price ``jobs`` through the sweep executor and assemble the result.
 
     Results merge in insertion order, so point ``i`` always pairs with
-    job ``i`` regardless of worker scheduling.
+    job ``i`` regardless of worker scheduling.  With a ``cache``, points
+    priced by an earlier invocation are answered from disk
+    (``stats.persistent_hits``) and fresh points are stored back.
     """
-    comparisons, stats = run_tasks(compare_fn, jobs, workers=workers)
+    key_fn = (
+        (lambda job: job_cache_key(kind, compare_fn, job))
+        if cache is not None
+        else None
+    )
+    comparisons, stats = run_tasks(
+        compare_fn, jobs, workers=workers, cache=cache, cache_key=key_fn
+    )
+    if cache is not None:
+        cache.flush()
     points = [
         SweepPoint(job.n_gpus, batch, comparison)
         for job, batch, comparison in zip(jobs, batches, comparisons)
@@ -99,15 +124,18 @@ def strong_scaling_sweep(
     gpu_counts: Sequence[int],
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
     workers: int = 0,
+    cache: Optional[PersistentMemo] = None,
 ) -> SweepResult:
     """Fixed global batch across growing GPU counts (Table 2's regime).
 
     ``workers`` fans points out over worker processes (see
-    :mod:`repro.exec`); 0 keeps the exact serial path.
+    :mod:`repro.exec`); 0 keeps the exact serial path.  ``cache`` (a
+    :class:`~repro.exec.memo.PersistentMemo`) skips points priced by
+    earlier invocations.
     """
     jobs = [base_job.scaled_to(n) for n in gpu_counts]
     batches = [base_job.global_batch] * len(jobs)
-    return _run_comparison_sweep("strong", jobs, batches, compare_fn, workers)
+    return _run_comparison_sweep("strong", jobs, batches, compare_fn, workers, cache)
 
 
 def weak_scaling_sweep(
@@ -116,6 +144,7 @@ def weak_scaling_sweep(
     batch_per_gpu: Optional[float] = None,
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
     workers: int = 0,
+    cache: Optional[PersistentMemo] = None,
 ) -> SweepResult:
     """Batch proportional to GPU count (Figure 9's regime)."""
     ratio = (
@@ -125,7 +154,7 @@ def weak_scaling_sweep(
     )
     batches = [max(1, round(n * ratio)) for n in gpu_counts]
     jobs = [base_job.scaled_to(n, b) for n, b in zip(gpu_counts, batches)]
-    return _run_comparison_sweep("weak", jobs, batches, compare_fn, workers)
+    return _run_comparison_sweep("weak", jobs, batches, compare_fn, workers, cache)
 
 
 def batch_sweep(
@@ -133,10 +162,11 @@ def batch_sweep(
     batches: Sequence[int],
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
     workers: int = 0,
+    cache: Optional[PersistentMemo] = None,
 ) -> SweepResult:
     """Fixed GPUs, varying global batch (the LAMB scaling axis)."""
     jobs = [base_job.scaled_to(base_job.n_gpus, b) for b in batches]
-    return _run_comparison_sweep("batch", jobs, list(batches), compare_fn, workers)
+    return _run_comparison_sweep("batch", jobs, list(batches), compare_fn, workers, cache)
 
 
 def single_system_sweep(
@@ -144,8 +174,18 @@ def single_system_sweep(
     base_job: TrainingJob,
     gpu_counts: Sequence[int],
     workers: int = 0,
+    cache: Optional[PersistentMemo] = None,
 ) -> List[float]:
     """MFU of one system across scales (no baseline run)."""
     jobs = [base_job.scaled_to(n) for n in gpu_counts]
-    reports, _stats = run_tasks(system.run, jobs, workers=workers)
+    key_fn = (
+        (lambda job: job_cache_key(f"single:{system!r}", system.run, job))
+        if cache is not None
+        else None
+    )
+    reports, _stats = run_tasks(
+        system.run, jobs, workers=workers, cache=cache, cache_key=key_fn
+    )
+    if cache is not None:
+        cache.flush()
     return [r.mfu for r in reports]

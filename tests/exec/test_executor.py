@@ -3,11 +3,15 @@
 import pytest
 
 from repro import compare, job_175b
-from repro.exec import SweepExecutor, run_tasks
+from repro.exec import PersistentMemo, SweepExecutor, run_tasks
 
 
 def _square(x):
     return x * x
+
+
+def _key(x):
+    return f"square:{x}"
 
 
 def test_serial_map_preserves_order():
@@ -56,3 +60,62 @@ def test_serial_sweep_records_cost_model_reuse():
     # The second point re-uses the first point's block costs (the block
     # cost does not depend on dp), so some hits are guaranteed.
     assert stats.hits > 0
+
+
+# -- cross-run persistent cache -----------------------------------------------
+
+
+def test_cache_requires_key_function(tmp_path):
+    memo = PersistentMemo(str(tmp_path / "m.pkl"))
+    with pytest.raises(ValueError):
+        run_tasks(_square, [1], cache=memo)
+    with pytest.raises(ValueError):
+        run_tasks(_square, [1], cache_key=_key)
+
+
+def test_cache_short_circuits_repeat_items(tmp_path):
+    path = str(tmp_path / "m.pkl")
+    with PersistentMemo(path) as memo:
+        results, stats = run_tasks(_square, [2, 3, 4], cache=memo, cache_key=_key)
+    assert results == [4, 9, 16]
+    assert stats.persistent_hits == 0
+
+    calls = []
+
+    def tracked(x):
+        calls.append(x)
+        return x * x
+
+    with PersistentMemo(path) as memo:
+        results, stats = run_tasks(tracked, [2, 5, 4], cache=memo, cache_key=_key)
+    assert results == [4, 25, 16]
+    assert calls == [5]  # only the unseen item executed
+    assert stats.persistent_hits == 2 and stats.n_tasks == 3
+
+
+def test_cache_with_parallel_workers(tmp_path):
+    path = str(tmp_path / "m.pkl")
+    with PersistentMemo(path) as memo:
+        run_tasks(_square, [1, 2], cache=memo, cache_key=_key)
+    with PersistentMemo(path) as memo:
+        results, stats = run_tasks(
+            _square, [1, 2, 3, 4], workers=2, cache=memo, cache_key=_key
+        )
+    assert results == [1, 4, 9, 16]
+    assert stats.persistent_hits == 2
+
+
+def test_cached_tasks_still_emit_spans(tmp_path):
+    from repro.observability import TelemetryHub
+
+    path = str(tmp_path / "m.pkl")
+    with PersistentMemo(path) as memo:
+        run_tasks(_square, [7], cache=memo, cache_key=_key)
+    hub = TelemetryHub("exec-test")
+    with PersistentMemo(path) as memo:
+        run_tasks(_square, [7, 8], hub=hub, cache=memo, cache_key=_key)
+    spans = hub.session.spans("exec")
+    by_task = {dict(s.attrs)["task"]: dict(s.attrs) for s in spans}
+    assert by_task[0]["cached"] is True
+    assert by_task[1]["cached"] is False
+    assert hub.metrics.counter("exec.persistent_hits") == 1

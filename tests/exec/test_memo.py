@@ -2,8 +2,22 @@
 
 import pytest
 
-from repro.exec import CacheReport, SweepStats, get_cache, memoized
-from repro.exec.memo import cache_delta, cache_snapshot, merge_deltas
+from repro.exec import (
+    CacheReport,
+    MemoCache,
+    PersistentMemo,
+    SweepStats,
+    cost_model_fingerprint,
+    get_cache,
+    memoized,
+)
+from repro.exec.memo import (
+    cache_delta,
+    cache_snapshot,
+    eviction_delta,
+    eviction_snapshot,
+    merge_deltas,
+)
 from repro.hardware import AMPERE
 from repro.model import GPT_13B
 from repro.model.blocks import block_cost
@@ -112,3 +126,147 @@ def test_sweep_stats_empty_is_safe():
     stats = SweepStats(n_tasks=0, workers=3)
     assert stats.hit_rate == 0.0
     assert "3 workers" in stats.describe()
+
+
+# -- bounded caches: LRU eviction ---------------------------------------------
+
+
+def test_memo_cache_evicts_least_recently_used():
+    cache = MemoCache("test-lru", maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # refreshes "a": "b" is now the LRU entry
+    cache.put("c", 3)
+    assert cache.evictions == 1
+    assert "b" not in cache.store
+    assert cache.get("a") == 1 and cache.get("c") == 3
+
+
+def test_memo_cache_unbounded_by_default():
+    cache = MemoCache("test-unbounded")
+    for i in range(1000):
+        cache.put(i, i)
+    assert len(cache.store) == 1000 and cache.evictions == 0
+
+
+def test_memo_cache_maxsize_validation():
+    with pytest.raises(ValueError):
+        MemoCache("bad", maxsize=0)
+    with pytest.raises(ValueError):
+        get_cache("bad", maxsize=-1)
+
+
+def test_memoized_with_maxsize_evicts_and_recomputes():
+    calls = []
+
+    @memoized("test-lru-decorated", maxsize=2)
+    def f(x):
+        calls.append(x)
+        return x * 10
+
+    f(1), f(2), f(3)  # inserting 3 evicts 1
+    cache = get_cache("test-lru-decorated")
+    assert cache.evictions == 1
+    assert f(1) == 10  # recomputed, not served stale
+    assert calls == [1, 2, 3, 1]
+
+
+def test_eviction_snapshot_delta():
+    cache = get_cache("test-evict-snap", maxsize=1)
+    before = eviction_snapshot()
+    cache.put("a", 1)
+    cache.put("b", 2)
+    delta = eviction_delta(before, eviction_snapshot())
+    assert delta["test-evict-snap"] == 1
+
+
+def test_sweep_stats_reports_evictions():
+    stats = SweepStats.from_counters(
+        {"block_cost": (6, 2)},
+        n_tasks=4,
+        workers=0,
+        evictions={"block_cost": 3, "other": 1},
+    )
+    assert stats.evictions == 4
+    assert stats.caches["block_cost"].evictions == 3
+    assert stats.caches["other"] == CacheReport(evictions=1)
+    assert "3 evicted" in stats.describe()
+
+
+def test_sweep_stats_merge_sums_batches():
+    a = SweepStats.from_counters({"x": (1, 2)}, n_tasks=3, workers=2, persistent_hits=1)
+    b = SweepStats.from_counters({"x": (3, 4), "y": (5, 0)}, n_tasks=2, workers=2)
+    merged = SweepStats.merge([a, b])
+    assert merged.n_tasks == 5 and merged.workers == 2
+    assert merged.caches["x"] == CacheReport(hits=4, misses=6)
+    assert merged.caches["y"].hits == 5
+    assert merged.persistent_hits == 1
+    assert SweepStats.merge([]).n_tasks == 0
+
+
+# -- persistent cross-run memo ------------------------------------------------
+
+
+def test_persistent_memo_round_trip(tmp_path):
+    path = str(tmp_path / "memo.pkl")
+    with PersistentMemo(path) as memo:
+        memo.put("k1", {"time": 1.5})
+        memo.put("k2", [1, 2, 3])
+        assert memo.get("k1") == {"time": 1.5}
+        assert memo.hits == 1 and memo.misses == 0
+
+    reloaded = PersistentMemo(path)
+    assert len(reloaded) == 2
+    assert "k1" in reloaded and reloaded.get("k2") == [1, 2, 3]
+    assert reloaded.get("absent", "fallback") == "fallback"
+    assert reloaded.misses == 1
+
+
+def test_persistent_memo_fingerprint_invalidates(tmp_path):
+    path = str(tmp_path / "memo.pkl")
+    with PersistentMemo(path, fingerprint="model-v1") as memo:
+        memo.put("k", 42)
+
+    stale = PersistentMemo(path, fingerprint="model-v2")
+    assert len(stale) == 0  # old prices must not leak across code changes
+    assert stale.stale_dropped == 1
+
+    fresh = PersistentMemo(path, fingerprint="model-v1")
+    assert fresh.get("k") == 42  # matching fingerprint keeps entries
+
+
+def test_persistent_memo_survives_corrupt_file(tmp_path):
+    path = tmp_path / "memo.pkl"
+    path.write_bytes(b"this is not a pickle")
+    memo = PersistentMemo(str(path))
+    assert len(memo) == 0
+    memo.put("k", 1)
+    memo.flush()
+    assert PersistentMemo(str(memo.path)).get("k") == 1
+
+
+def test_persistent_memo_lru_and_validation(tmp_path):
+    with pytest.raises(ValueError):
+        PersistentMemo(str(tmp_path / "x.pkl"), maxsize=0)
+    memo = PersistentMemo(str(tmp_path / "y.pkl"), maxsize=2)
+    memo.put("a", 1)
+    memo.put("b", 2)
+    memo.get("a")  # refresh: "b" becomes LRU
+    memo.put("c", 3)
+    assert memo.evictions == 1
+    assert "b" not in memo and "a" in memo
+
+
+def test_persistent_memo_flush_is_noop_when_clean(tmp_path):
+    path = str(tmp_path / "memo.pkl")
+    memo = PersistentMemo(path)
+    memo.flush()  # nothing written, nothing to persist
+    import os
+
+    assert not os.path.exists(path)
+
+
+def test_cost_model_fingerprint_is_stable_and_short():
+    fp = cost_model_fingerprint()
+    assert fp == cost_model_fingerprint()
+    assert len(fp) == 16 and all(c in "0123456789abcdef" for c in fp)

@@ -1,0 +1,267 @@
+"""Tests for bound-and-prune plan search: exactness, admissibility, pruning."""
+
+import pytest
+
+from repro.core.features import MEGASCALE_ISO_BATCH, MEGATRON_LM
+from repro.exec import PersistentMemo
+from repro.hardware import AMPERE
+from repro.model import GPT_13B, GPT_175B
+from repro.observability import TelemetryHub
+from repro.parallel import ParallelPlan
+from repro.parallel.search import (
+    CandidateBounds,
+    candidate_bounds,
+    canonical_key,
+    dominance_prune,
+    plan_cache_key,
+    search_plans,
+)
+from repro.parallel.tuner import candidate_plans, evaluate_plan, feasible
+from repro.training.iteration import IterationEngine
+
+
+# -- exactness: pruned search == exhaustive search ----------------------------
+
+GRID = [
+    (GPT_13B, 16, 64, MEGASCALE_ISO_BATCH),
+    (GPT_13B, 32, 128, MEGASCALE_ISO_BATCH),
+    (GPT_13B, 32, 128, MEGATRON_LM),
+    (GPT_175B, 256, 256, MEGASCALE_ISO_BATCH),
+    (GPT_175B, 256, 256, MEGATRON_LM),
+]
+
+
+@pytest.mark.parametrize("model,n_gpus,batch,features", GRID)
+def test_pruned_topk_bit_identical_to_exhaustive(model, n_gpus, batch, features):
+    """The headline guarantee: identical top-k with far fewer engine calls."""
+    pruned = search_plans(model, n_gpus, batch, features=features, top_k=5)
+    brute = search_plans(model, n_gpus, batch, features=features, top_k=5, exhaustive=True)
+    assert pruned.top == brute.top  # bit-identical TunedPlan dataclasses
+    assert brute.stats.evaluated == brute.stats.feasible
+    assert pruned.stats.evaluated <= brute.stats.evaluated
+
+
+@pytest.mark.parametrize("model,n_gpus,batch,features", GRID)
+def test_search_accounting_is_complete(model, n_gpus, batch, features):
+    """Every feasible candidate is pruned, priced, or cached — none vanish."""
+    result = search_plans(model, n_gpus, batch, features=features, top_k=3)
+    s = result.stats
+    assert s.feasible <= s.enumerated
+    assert (
+        s.dominance_pruned + s.bound_pruned + s.evaluated + s.persistent_hits
+        == s.feasible - s.capped
+    )
+    assert 0.0 <= s.prune_rate <= 1.0
+    assert "plan search" in s.describe()
+
+
+def test_pruned_matches_exhaustive_across_top_k():
+    for top_k in (1, 2, 5, 10):
+        pruned = search_plans(GPT_13B, 16, 64, top_k=top_k)
+        brute = search_plans(GPT_13B, 16, 64, top_k=top_k, exhaustive=True)
+        assert pruned.top == brute.top
+        assert len(pruned.top) == min(top_k, pruned.stats.feasible)
+
+
+def test_search_parallel_matches_serial():
+    serial = search_plans(GPT_13B, 16, 64, top_k=5, workers=0)
+    parallel = search_plans(GPT_13B, 16, 64, top_k=5, workers=2)
+    assert parallel.top == serial.top
+
+
+# -- the acceptance bar: <= 50% of brute-force engine calls at 1024 GPUs ------
+
+
+def test_1024_gpu_search_prunes_majority_of_engine_calls(monkeypatch):
+    """At scale, pruned search performs <= 50% of brute-force simulate calls."""
+    calls = {"n": 0}
+    real_simulate = IterationEngine.simulate
+
+    def counting_simulate(self, *args, **kwargs):
+        calls["n"] += 1
+        return real_simulate(self, *args, **kwargs)
+
+    monkeypatch.setattr(IterationEngine, "simulate", counting_simulate)
+
+    pruned = search_plans(GPT_175B, 1024, 768, top_k=5)
+    pruned_calls = calls["n"]
+    assert pruned_calls == pruned.stats.evaluated
+
+    calls["n"] = 0
+    brute = search_plans(GPT_175B, 1024, 768, top_k=5, exhaustive=True)
+    brute_calls = calls["n"]
+    assert brute_calls == pruned.stats.brute_force_evaluations == brute.stats.feasible
+
+    assert pruned.top == brute.top  # identical top-k...
+    assert pruned_calls <= 0.5 * brute_calls  # ...at <= half the engine work
+
+
+# -- admissibility: lower <= exact <= upper -----------------------------------
+
+
+@pytest.mark.parametrize("model,n_gpus,batch,features", GRID)
+def test_bounds_bracket_exact_engine_time(model, n_gpus, batch, features):
+    plans = [
+        p
+        for p in candidate_plans(model, n_gpus)
+        if feasible(model, p, AMPERE, batch)
+    ]
+    assert plans
+    for plan in plans:
+        cand = candidate_bounds(plan, model, features, AMPERE, batch)
+        exact = evaluate_plan(plan, model, features, AMPERE, batch).iteration_time
+        assert cand.lower <= exact + 1e-9, f"inadmissible lower bound for {plan}"
+        assert exact <= cand.upper + 1e-9, f"upper bound below exact for {plan}"
+        assert cand.lower <= cand.upper
+        assert cand.memory_bytes > 0
+
+
+def test_analytic_bounds_validate_inputs():
+    engine = IterationEngine(GPT_13B, ParallelPlan(dp=4, tp=2, pp=2), MEGASCALE_ISO_BATCH)
+    bounds = engine.analytic_bounds(64)
+    assert 0 < bounds.compute_floor <= bounds.lower <= bounds.upper
+    assert bounds.lower <= bounds.estimate <= bounds.upper
+
+
+# -- dominance pruning --------------------------------------------------------
+
+
+def _cand(index, lower, upper, memory):
+    plan = ParallelPlan(dp=1, tp=1, pp=1)
+    return CandidateBounds(
+        index=index, plan=plan, lower=lower, upper=upper,
+        estimate=(lower + upper) / 2, memory_bytes=memory,
+    )
+
+
+def test_dominance_drops_certified_losers():
+    # Two cheap fast candidates certify the slow one out of a top-1 search.
+    fast_a = _cand(0, 1.0, 2.0, 100.0)
+    fast_b = _cand(1, 1.1, 2.1, 100.0)
+    slow = _cand(2, 5.0, 9.0, 200.0)
+    kept, dropped = dominance_prune([fast_a, fast_b, slow], top_k=1)
+    assert dropped == [slow]
+    assert kept == [fast_a, fast_b]
+
+
+def test_dominance_respects_top_k():
+    # With top_k=2 a single dominator is not enough to drop anyone.
+    fast = _cand(0, 1.0, 2.0, 100.0)
+    slow = _cand(1, 5.0, 9.0, 200.0)
+    kept, dropped = dominance_prune([fast, slow], top_k=2)
+    assert dropped == [] and len(kept) == 2
+
+
+def test_dominance_requires_memory_no_worse():
+    # The dominator uses MORE memory: no Pareto dominance, nothing drops.
+    fast_hungry = _cand(0, 1.0, 2.0, 300.0)
+    slow_lean = _cand(1, 5.0, 9.0, 100.0)
+    kept, dropped = dominance_prune([fast_hungry, slow_lean], top_k=1)
+    assert dropped == []
+    assert {c.index for c in kept} == {0, 1}
+
+
+def test_dominance_requires_strict_time_separation():
+    # upper == lower boundary: not strictly better, must not drop.
+    a = _cand(0, 1.0, 5.0, 100.0)
+    b = _cand(1, 5.0, 9.0, 100.0)
+    kept, dropped = dominance_prune([a, b], top_k=1)
+    assert dropped == []
+
+
+def test_dominance_equal_memory_group_is_symmetric():
+    # Candidates tied on memory can dominate each other.
+    fast = _cand(0, 1.0, 2.0, 100.0)
+    slow = _cand(1, 3.0, 4.0, 100.0)
+    kept, dropped = dominance_prune([fast, slow], top_k=1)
+    assert dropped == [slow] and kept == [fast]
+
+
+def test_dominance_partition_preserves_everything():
+    cands = [_cand(i, float(i), float(i) + 0.5, float(i % 3)) for i in range(12)]
+    kept, dropped = dominance_prune(cands, top_k=2)
+    assert len(kept) + len(dropped) == len(cands)
+    assert sorted(c.index for c in kept + dropped) == list(range(12))
+
+
+# -- legacy cap + canonical order ---------------------------------------------
+
+
+def test_max_candidates_cap_is_recorded_not_silent():
+    full = search_plans(GPT_13B, 16, 64, top_k=3)
+    capped = search_plans(GPT_13B, 16, 64, top_k=3, max_candidates=4)
+    assert full.stats.capped == 0
+    assert capped.stats.capped == full.stats.feasible - 4
+    assert "dropped by legacy cap" in capped.stats.describe()
+
+
+def test_canonical_key_orders_small_model_parallel_first():
+    small = ParallelPlan(dp=8, tp=2, pp=1)
+    large = ParallelPlan(dp=1, tp=8, pp=2)
+    assert canonical_key(small) < canonical_key(large)
+
+
+def test_search_validation():
+    with pytest.raises(ValueError):
+        search_plans(GPT_13B, 16, 64, top_k=0)
+    with pytest.raises(ValueError):
+        search_plans(GPT_175B, 1, 1)  # no feasible plan
+
+
+# -- persistent cross-run cache -----------------------------------------------
+
+
+def test_persistent_cache_skips_engine_on_second_run(tmp_path):
+    path = str(tmp_path / "plans.pkl")
+    with PersistentMemo(path) as memo:
+        first = search_plans(GPT_13B, 16, 64, top_k=5, cache=memo)
+    assert first.stats.evaluated > 0
+    assert first.stats.persistent_hits == 0
+
+    with PersistentMemo(path) as memo:
+        second = search_plans(GPT_13B, 16, 64, top_k=5, cache=memo)
+    assert second.top == first.top
+    assert second.stats.evaluated == 0  # every pricing answered from disk
+    assert second.stats.persistent_hits == first.stats.evaluated
+
+
+def test_plan_cache_key_distinguishes_contexts():
+    plan = ParallelPlan(dp=8, tp=2, pp=1)
+    base = plan_cache_key(GPT_13B, plan, MEGASCALE_ISO_BATCH, AMPERE, 64)
+    assert base == plan_cache_key(GPT_13B, plan, MEGASCALE_ISO_BATCH, AMPERE, 64)
+    assert base != plan_cache_key(GPT_13B, plan, MEGASCALE_ISO_BATCH, AMPERE, 128)
+    assert base != plan_cache_key(GPT_13B, plan, MEGATRON_LM, AMPERE, 64)
+    assert base != plan_cache_key(
+        GPT_13B, plan.with_options(micro_batch=2), MEGASCALE_ISO_BATCH, AMPERE, 64
+    )
+
+
+# -- telemetry ----------------------------------------------------------------
+
+
+def test_search_emits_counters_spans_and_incumbent_trajectory():
+    hub = TelemetryHub("search-test")
+    result = search_plans(GPT_13B, 16, 64, top_k=3, hub=hub)
+    s = result.stats
+
+    m = hub.metrics
+    assert m.counter("exec.search_enumerated") == s.enumerated
+    assert m.counter("exec.search_feasible") == s.feasible
+    assert m.counter("exec.search_dominance_pruned") == s.dominance_pruned
+    assert m.counter("exec.search_bound_pruned") == s.bound_pruned
+    assert m.counter("exec.search_evaluated") == s.evaluated
+
+    names = [name for name, _, _ in m.counters(prefix="exec.search_")]
+    assert "exec.search_enumerated" in names and "exec.search_evaluated" in names
+
+    spans = hub.session.spans("exec")
+    stage_names = {sp.name for sp in spans}
+    assert {"search:screen", "search:dominance", "search:bound", "search:rank"} <= stage_names
+    assert sum(1 for sp in spans if sp.name == "search:price") == s.priced
+
+    assert s.incumbent  # the frontier moved at least once
+    best_series = m.gauge_series("exec.search_incumbent_best", rank=0)
+    assert len(best_series) == len(s.incumbent)
+    # The incumbent best only ever improves.
+    bests = [b for _, b, _ in s.incumbent]
+    assert bests == sorted(bests, reverse=True)

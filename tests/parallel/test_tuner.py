@@ -5,7 +5,7 @@ import pytest
 from repro.hardware import AMPERE
 from repro.model import GPT_13B, GPT_175B
 from repro.parallel import ParallelPlan
-from repro.parallel.tuner import candidate_plans, feasible, tune
+from repro.parallel.tuner import candidate_plans, feasible, tune, tune_with_stats
 
 
 def test_candidates_satisfy_structural_constraints():
@@ -41,7 +41,7 @@ def test_feasible_rejects_bad_batch_split():
 
 
 def test_tune_returns_ranked_feasible_plans():
-    results = tune(GPT_175B, n_gpus=256, global_batch=256, top_k=3, max_candidates=12)
+    results = tune(GPT_175B, n_gpus=256, global_batch=256, top_k=3)
     assert 1 <= len(results) <= 3
     mfus = [r.mfu for r in results]
     assert mfus == sorted(mfus, reverse=True)
@@ -52,7 +52,7 @@ def test_tune_returns_ranked_feasible_plans():
 
 
 def test_tune_prefers_model_parallel_for_huge_models():
-    results = tune(GPT_175B, n_gpus=256, global_batch=256, top_k=1, max_candidates=12)
+    results = tune(GPT_175B, n_gpus=256, global_batch=256, top_k=1)
     best = results[0].plan
     # 175B needs real model-parallel sharding (plus ZeRO) to fit at all.
     assert best.tp * best.pp >= 8
@@ -60,7 +60,7 @@ def test_tune_prefers_model_parallel_for_huge_models():
 
 
 def test_tune_small_model_avoids_excess_pipeline():
-    results = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=1, max_candidates=16)
+    results = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=1)
     best = results[0].plan
     # 13B fits with modest model parallelism; the tuner should not pick
     # an extreme pipeline depth.
@@ -105,8 +105,45 @@ def test_tune_plumbs_gpus_per_node_through():
 
 
 def test_tune_parallel_matches_serial():
-    serial = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5, max_candidates=12)
-    parallel = tune(
-        GPT_13B, n_gpus=16, global_batch=64, top_k=5, max_candidates=12, workers=2
-    )
+    serial = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5)
+    parallel = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5, workers=2)
     assert parallel == serial
+
+
+# -- search accounting + the legacy max_candidates cap -------------------------
+
+
+def test_tune_with_stats_accounts_for_every_candidate():
+    results, stats = tune_with_stats(GPT_13B, n_gpus=16, global_batch=64, top_k=3)
+    assert results == tune(GPT_13B, n_gpus=16, global_batch=64, top_k=3)
+    assert stats.enumerated >= stats.feasible > 0
+    assert stats.capped == 0
+    assert (
+        stats.dominance_pruned + stats.bound_pruned + stats.evaluated
+        == stats.feasible
+    )
+    # Pruning must actually bite on this space.
+    assert stats.evaluated < stats.feasible
+
+
+def test_tune_warns_when_legacy_cap_drops_candidates():
+    with pytest.warns(UserWarning, match="max_candidates=4 dropped"):
+        results, stats = tune_with_stats(
+            GPT_13B, n_gpus=16, global_batch=64, top_k=3, max_candidates=4
+        )
+    assert stats.capped > 0
+    assert results  # still returns the best of what survived the cap
+
+
+def test_tune_uncapped_by_default_no_warning():
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        tune(GPT_13B, n_gpus=16, global_batch=64, top_k=3)
+
+
+def test_tune_exhaustive_matches_pruned():
+    pruned = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5)
+    brute = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5, exhaustive=True)
+    assert pruned == brute

@@ -119,6 +119,39 @@ def test_single_system_sweep_parallel_matches_serial():
     assert mfus_parallel == mfus_serial
 
 
+# -- cross-run persistent cache -------------------------------------------------
+
+
+def test_strong_sweep_persistent_cache_skips_repriced_points(tmp_path):
+    from repro.exec import PersistentMemo
+
+    base = job_175b(256, 768)
+    path = str(tmp_path / "sweep.pkl")
+    with PersistentMemo(path) as memo:
+        first = strong_scaling_sweep(base, [256, 512], cache=memo)
+    assert first.stats.persistent_hits == 0
+
+    with PersistentMemo(path) as memo:
+        second = strong_scaling_sweep(base, [256, 512, 1024], cache=memo)
+    assert second.stats.persistent_hits == 2  # 256 and 512 came from disk
+    assert second.points[:2] == first.points  # bit-identical to the live run
+    uncached = strong_scaling_sweep(base, [256, 512, 1024])
+    assert second.points == uncached.points
+
+
+def test_single_system_sweep_persistent_cache(tmp_path):
+    from repro.exec import PersistentMemo
+
+    path = str(tmp_path / "single.pkl")
+    with PersistentMemo(path) as memo:
+        first = single_system_sweep(megascale(), job_175b(256, 768), [256], cache=memo)
+    with PersistentMemo(path) as memo:
+        assert memo.entries  # first run persisted its point
+        second = single_system_sweep(megascale(), job_175b(256, 768), [256], cache=memo)
+        assert memo.hits == 1
+    assert second == first
+
+
 # -- jobfiles ------------------------------------------------------------------
 
 
