@@ -35,6 +35,14 @@ def _add_job_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--vpp", type=int, default=6)
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=["analytic", "fabric"], default="analytic",
+        help="collective cost model: closed-form alpha-beta (analytic, the "
+             "default) or flow-level routing over the CLOS fabric (fabric)",
+    )
+
+
 def _job_from(args) -> "TrainingJob":
     from .core.config import TrainingJob
 
@@ -51,23 +59,28 @@ def _job_from(args) -> "TrainingJob":
 def cmd_compare(args) -> int:
     from .core import compare, render_table
 
-    result = compare(_job_from(args))
+    result = compare(_job_from(args), backend=args.backend)
     print(render_table([result.baseline, result.megascale]))
     print(result.summary())
     return 0
 
 
 def cmd_sweep(args) -> int:
+    import functools
+
     from .core import compare, job_175b
     from .exec import run_tasks
 
     hub = _make_hub(args, "sweep")
+    compare_fn = compare
+    if args.backend != "analytic":
+        compare_fn = functools.partial(compare, backend=args.backend)
     scales = [
         (256, 768), (512, 768), (768, 768), (1024, 768),
         (3072, 6144), (6144, 6144), (8192, 6144), (12288, 6144),
     ]
     jobs = [job_175b(n_gpus=gpus, global_batch=batch) for gpus, batch in scales]
-    results, stats = run_tasks(compare, jobs, workers=args.workers, hub=hub)
+    results, stats = run_tasks(compare_fn, jobs, workers=args.workers, hub=hub)
     print(f"{'GPUs':>6s} {'batch':>6s} {'Megatron':>9s} {'MegaScale':>10s} {'speedup':>8s}")
     for (gpus, batch), r in zip(scales, results):
         print(
@@ -256,6 +269,7 @@ def cmd_tune(args) -> int:
         hub=hub,
         cache=cache,
         exhaustive=args.exhaustive,
+        backend=args.backend,
     )
     for i, result in enumerate(results, 1):
         print(f"#{i}  {result.describe()}")
@@ -281,11 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("compare", help="MegaScale vs Megatron-LM on one job")
     _add_job_args(p)
+    _add_backend_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser("sweep", help="Table 2 strong-scaling sweep")
     p.add_argument("--workers", type=int, default=0,
                    help="worker processes (0 = serial, the default)")
+    _add_backend_arg(p)
     p.add_argument("--stats", action="store_true",
                    help="print executor + cost-model cache statistics")
     p.add_argument("--trace", metavar="PATH",
@@ -324,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("tune", help="auto-tune 3D parallelism (exact bound-and-prune search)")
     _add_job_args(p)
+    _add_backend_arg(p)
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--gpus-per-node", type=int, default=8,
                    help="node size constraining tensor parallelism")

@@ -1,0 +1,374 @@
+"""Flow-level collective cost backend (§3.6).
+
+The alpha-beta models in :mod:`repro.collectives.primitives` price a
+collective from a single bandwidth/latency pair, blind to where the
+ranks actually sit.  This backend expands a ring collective into its
+per-step flow set, routes every neighbour-pair flow over the
+:class:`~repro.network.topology.ClosFabric` with deterministic ECMP
+hashing, computes the step completion time under max-min fair link
+sharing (:func:`repro.network.flow.max_min_fair_rates`), and applies a
+PFC pause/retransmit penalty to flows whose path crosses an
+oversubscribed uplink — so same-ToR placement, port splitting and ECMP
+hash conflicts show up in collective *prices*, not just in standalone
+network studies.
+
+On an uncongested single-pod placement the fabric price degenerates
+exactly to the alpha-beta model: every neighbour path is
+nic -> ToR -> nic (two 1 us links) and :data:`RING_SOFTWARE_LATENCY`
+tops the per-step latency up to
+:data:`~repro.collectives.primitives.INTER_NODE_LATENCY`, while each
+NIC-bound flow owns its links and runs at
+``nic_rate * cc_efficiency`` — the same bandwidth the analytic model
+charges for a same-pod ring.  Cross-pod rings pick up the extra switch
+hops, ECMP link sharing, and PFC penalties on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exec.memo import get_cache
+from ..network.flow import Flow, max_min_fair_rates
+from ..network.link import Link
+from ..network.topology import ClosFabric
+from .primitives import COST_BACKENDS, DEFAULT_CC_EFFICIENCY, validate_backend
+
+__all__ = [
+    "COST_BACKENDS",
+    "DEFAULT_PFC_PENALTY",
+    "FabricCollectiveCost",
+    "FabricCostModel",
+    "PfcPenaltyModel",
+    "RING_SOFTWARE_LATENCY",
+    "RoutedStepCost",
+    "fabric_collective_cost",
+    "routed_step_cost",
+    "validate_backend",
+]
+
+# Software/launch overhead added to every ring step.  Chosen so that a
+# clean intra-pod path (two 1 us NIC<->ToR links) lands exactly on the
+# analytic model's INTER_NODE_LATENCY of 12 us — which is what makes the
+# fabric backend degenerate to the alpha-beta cost on a single-ToR group.
+RING_SOFTWARE_LATENCY = 10e-6
+
+
+@dataclass(frozen=True)
+class PfcPenaltyModel:
+    """Pause/retransmit derating for flows crossing oversubscribed links.
+
+    When the offered load on a link exceeds its capacity, PFC back-
+    pressure pauses the upstream senders; the paper's NCCL retransmit
+    tuning (§3.6) bounds the damage but cannot remove it.  The model is
+    deliberately coarse: a pause fraction growing linearly in the
+    oversubscription beyond 1.0 (capped), plus one retransmit latency
+    charged to any paused flow.  Frozen (hashable) so it can key the
+    fabric memo cache.
+    """
+
+    pause_per_excess: float = 0.08  # pause fraction per unit oversubscription
+    max_pause_fraction: float = 0.5
+    retransmit_latency: float = 100e-6  # timeout + replay on a paused path
+
+    def __post_init__(self) -> None:
+        if self.pause_per_excess < 0:
+            raise ValueError("pause_per_excess must be >= 0")
+        if not 0 <= self.max_pause_fraction < 1:
+            raise ValueError("max_pause_fraction must be in [0, 1)")
+        if self.retransmit_latency < 0:
+            raise ValueError("retransmit_latency must be >= 0")
+
+    def pause_fraction(self, oversubscription: float) -> float:
+        """Fraction of time a flow is XOFF-paused at the given load ratio."""
+        if oversubscription <= 1.0:
+            return 0.0
+        return min(self.max_pause_fraction, self.pause_per_excess * (oversubscription - 1.0))
+
+
+DEFAULT_PFC_PENALTY = PfcPenaltyModel()
+
+
+@dataclass(frozen=True)
+class RoutedStepCost:
+    """Routing outcome of one ring step (all pair transfers concurrent)."""
+
+    duration: float  # slowest flow's completion time
+    n_flows: int  # inter-node flows (same-host pairs are skipped)
+    max_link_load: int  # flows sharing the most-loaded link
+    utilization: float  # allocated-rate utilization of that bottleneck
+    oversubscription: float  # worst offered-load / capacity ratio (0 if unbounded demand)
+    paused_flows: int  # flows paying a PFC penalty
+    slowest_flow: int  # index of the flow setting the duration
+
+
+@dataclass(frozen=True)
+class FabricCollectiveCost:
+    """A fabric-priced collective with its routing diagnostics."""
+
+    kind: str
+    size: float
+    n_ranks: int
+    n_steps: int
+    step: RoutedStepCost  # identical steps: one routing outcome
+    time: float
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Realized per-NIC goodput: bytes each rank moves / total time."""
+        if self.time <= 0.0 or self.n_ranks == 0:
+            return float("inf")
+        return self.n_steps * (self.size / self.n_ranks) / self.time
+
+
+def routed_step_cost(
+    paths: Sequence[Sequence[Link]],
+    segment_bytes: float,
+    demand: Optional[float] = None,
+    software_latency: float = RING_SOFTWARE_LATENCY,
+    cc_efficiency: float = 1.0,
+    penalty: Optional[PfcPenaltyModel] = None,
+) -> RoutedStepCost:
+    """Completion time of one ring step whose pair transfers use ``paths``.
+
+    Every non-empty path becomes one flow (empty paths are same-host
+    pairs, priced elsewhere as NVLink traffic); flows share links
+    max-min fairly.  ``demand`` caps each flow at its NIC line rate
+    (None = unbounded, the event runtime's historical behaviour — PFC
+    penalties then never apply, since oversubscription is undefined).
+    The step ends when the slowest flow finishes.
+    """
+    if segment_bytes < 0:
+        raise ValueError("segment_bytes must be non-negative")
+    if not 0 < cc_efficiency <= 1:
+        raise ValueError("cc_efficiency must be in (0, 1]")
+    per_flow_demand = float("inf") if demand is None else demand
+    flows = [
+        Flow(flow_id=i, path=list(path), demand=per_flow_demand)
+        for i, path in enumerate(paths)
+        if path
+    ]
+    if not flows:
+        return RoutedStepCost(software_latency, 0, 0, 0.0, 0.0, 0, 0)
+    max_min_fair_rates(flows)
+
+    load: Dict[Link, int] = {}
+    allocated: Dict[Link, float] = {}
+    for flow in flows:
+        for link in flow.path:
+            load[link] = load.get(link, 0) + 1
+            allocated[link] = allocated.get(link, 0.0) + flow.rate
+    max_link_load = max(load.values())
+    utilization = max(min(1.0, allocated[l] / l.bandwidth) for l in load)
+
+    duration, slowest, paused, worst_ratio = 0.0, 0, 0, 0.0
+    for flow in flows:
+        ratio = 0.0
+        if demand is not None:
+            ratio = max(load[l] * demand / l.bandwidth for l in flow.path)
+        worst_ratio = max(worst_ratio, ratio)
+        pause = penalty.pause_fraction(ratio) if penalty is not None else 0.0
+        if pause > 0.0:
+            paused += 1
+        rate = flow.rate * cc_efficiency * (1.0 - pause)
+        latency = sum(l.latency for l in flow.path) + software_latency
+        if pause > 0.0 and penalty is not None:
+            latency += penalty.retransmit_latency
+        t = (segment_bytes / rate if segment_bytes > 0 else 0.0) + latency
+        if t > duration:
+            duration, slowest = t, flow.flow_id
+    return RoutedStepCost(
+        duration=duration,
+        n_flows=len(flows),
+        max_link_load=max_link_load,
+        utilization=utilization,
+        oversubscription=worst_ratio,
+        paused_flows=paused,
+        slowest_flow=slowest,
+    )
+
+
+@dataclass
+class FabricCostModel:
+    """Prices ring collectives by routing their flows over a fabric.
+
+    Each ring step of an n-node collective is n neighbour-pair flows
+    (same-host pairs skipped), each demanding the NIC line rate, routed
+    on rail ``rail`` and shared max-min across the CLOS links; steps are
+    identical, so one routing prices the whole collective.
+    """
+
+    fabric: ClosFabric
+    rail: int = 0
+    cc_efficiency: float = DEFAULT_CC_EFFICIENCY
+    software_latency: float = RING_SOFTWARE_LATENCY
+    penalty: Optional[PfcPenaltyModel] = DEFAULT_PFC_PENALTY
+    nic_rate: Optional[float] = None  # per-flow demand; fabric's NIC rate if None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.cc_efficiency <= 1:
+            raise ValueError("cc_efficiency must be in (0, 1]")
+        if not 0 <= self.rail < self.fabric.rails:
+            raise ValueError(f"rail {self.rail} outside 0..{self.fabric.rails - 1}")
+        if self.nic_rate is None:
+            self.nic_rate = self.fabric.nic_rate
+
+    def ring_paths(self, nodes: Sequence[int]) -> List[List[Link]]:
+        """ECMP-resolved neighbour-pair paths of the ring over ``nodes``."""
+        n = len(nodes)
+        paths: List[List[Link]] = []
+        for i, src in enumerate(nodes):
+            dst = nodes[(i + 1) % n]
+            if src == dst:
+                paths.append([])
+            else:
+                paths.append(self.fabric.path(src, dst, rail=self.rail, flow_id=i))
+        return paths
+
+    def step_cost(self, nodes: Sequence[int], segment_bytes: float) -> RoutedStepCost:
+        return routed_step_cost(
+            self.ring_paths(nodes),
+            segment_bytes,
+            demand=self.nic_rate,
+            software_latency=self.software_latency,
+            cc_efficiency=self.cc_efficiency,
+            penalty=self.penalty,
+        )
+
+    def collective_cost(
+        self,
+        kind: str,
+        size: float,
+        nodes: Sequence[int],
+        hub=None,
+        rank: int = 0,
+        start: float = 0.0,
+    ) -> FabricCollectiveCost:
+        """Price one ring collective over ``nodes`` (fabric node per rank).
+
+        With a :class:`~repro.observability.TelemetryHub` as ``hub`` the
+        collective lands as a routed-flow span on the ``collectives``
+        lane and its bottleneck-link utilization as gauges on the
+        ``network`` lane.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        nodes = tuple(nodes)
+        n = len(nodes)
+        if n < 1:
+            raise ValueError("need at least one node")
+        if kind in ("all_gather", "reduce_scatter"):
+            n_steps = n - 1
+        elif kind == "all_reduce":
+            n_steps = 2 * (n - 1)
+        else:
+            raise ValueError(
+                "fabric backend prices ring collectives "
+                f"(all_gather/reduce_scatter/all_reduce), not {kind!r}"
+            )
+        if n == 1 or size == 0:
+            cost = FabricCollectiveCost(
+                kind, float(size), n, 0, RoutedStepCost(0.0, 0, 0, 0.0, 0.0, 0, 0), 0.0
+            )
+        else:
+            step = self.step_cost(nodes, size / n)
+            cost = FabricCollectiveCost(
+                kind, float(size), n, n_steps, step, n_steps * step.duration
+            )
+        self._emit(hub, cost, rank, start)
+        return cost
+
+    def p2p_time(self, size: float, src_node: int, dst_node: int, flow_id: int = 0) -> float:
+        """One routed send/recv between two nodes (pipeline activations)."""
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        if src_node == dst_node:
+            return 0.0
+        path = self.fabric.path(src_node, dst_node, rail=self.rail, flow_id=flow_id)
+        return routed_step_cost(
+            [path],
+            size,
+            demand=self.nic_rate,
+            software_latency=self.software_latency,
+            cc_efficiency=self.cc_efficiency,
+            penalty=self.penalty,
+        ).duration
+
+    def _emit(self, hub, cost: FabricCollectiveCost, rank: int, start: float) -> None:
+        if hub is None:
+            return
+        step = cost.step
+        hub.span(
+            "collectives",
+            f"fabric:{cost.kind}",
+            rank,
+            start,
+            start + cost.time,
+            stream="fabric",
+            bytes=cost.size,
+            n_ranks=cost.n_ranks,
+            steps=cost.n_steps,
+            n_flows=step.n_flows,
+            max_link_load=step.max_link_load,
+            paused_flows=step.paused_flows,
+        )
+        hub.count("collectives", "fabric_priced", 1, kind=cost.kind)
+        # Rail index doubles as the gauge's rank/tid: one series per rail.
+        hub.sample(
+            "network", "fabric_link_utilization", t=start, value=step.utilization,
+            rank=self.rail,
+        )
+        hub.sample(
+            "network", "fabric_max_link_load", t=start, value=float(step.max_link_load),
+            rank=self.rail,
+        )
+
+
+def fabric_collective_cost(
+    kind: str,
+    size: float,
+    nodes: Tuple[int, ...],
+    fabric: ClosFabric,
+    rail: int = 0,
+    cc_efficiency: float = DEFAULT_CC_EFFICIENCY,
+    software_latency: float = RING_SOFTWARE_LATENCY,
+    penalty: Optional[PfcPenaltyModel] = DEFAULT_PFC_PENALTY,
+    nic_rate: Optional[float] = None,
+    hub=None,
+) -> FabricCollectiveCost:
+    """Memoized fabric pricing — the ``backend="fabric"`` entry point.
+
+    Keyed by every pricing parameter plus
+    :meth:`~repro.network.topology.ClosFabric.fingerprint`, so two
+    identically-configured healthy fabrics share entries while a
+    degraded or re-built fabric never reuses them.  ``hub`` is not part
+    of the key, and telemetry is emitted only when the price is computed
+    fresh — a memo hit is not a new routed collective.
+    """
+    cache = get_cache("fabric_collective_cost")
+    key = (
+        kind,
+        float(size),
+        tuple(nodes),
+        rail,
+        cc_efficiency,
+        software_latency,
+        penalty,
+        nic_rate,
+        fabric.fingerprint(),
+    )
+    if key in cache.store:
+        cache.hits += 1
+        return cache.get(key)
+    cache.misses += 1
+    model = FabricCostModel(
+        fabric,
+        rail=rail,
+        cc_efficiency=cc_efficiency,
+        software_latency=software_latency,
+        penalty=penalty,
+        nic_rate=nic_rate,
+    )
+    result = model.collective_cost(kind, size, tuple(nodes), hub=hub)
+    cache.put(key, result)
+    return result

@@ -22,14 +22,16 @@ from ..hardware.node import NodeSpec
 from ..network.topology import ClosFabric
 from ..parallel.placement import Placement
 from ..parallel.plan import ParallelPlan
-from .primitives import point_to_point, ring_all_gather, ring_all_reduce, ring_reduce_scatter
-
-# Fraction of line rate a well-tuned RDMA transport sustains (framing,
-# congestion-control headroom).  The MegaScale CC work (§3.6) is what
-# keeps this high; the ECMP factors below model the remaining topology
-# losses.
-DEFAULT_CC_EFFICIENCY = 0.90
-INTER_NODE_LATENCY = 12e-6  # NIC + 2-6 switch hops + software
+from .fabric import FabricCostModel, fabric_collective_cost
+from .primitives import (
+    DEFAULT_CC_EFFICIENCY,
+    INTER_NODE_LATENCY,
+    point_to_point,
+    ring_all_gather,
+    ring_all_reduce,
+    ring_reduce_scatter,
+    validate_backend,
+)
 
 
 @memoized("conflict_factor")
@@ -52,21 +54,35 @@ def cross_pod_conflict_factor(active_nodes_per_pod: int = 64, uplinks: int = 32)
 
 @dataclass
 class GroupCommModel:
-    """Prices collectives for one (plan, placement, fabric) deployment."""
+    """Prices collectives for one (plan, placement, fabric) deployment.
+
+    ``backend`` selects the pricing model (see
+    :data:`~repro.collectives.primitives.COST_BACKENDS`): ``"analytic"``
+    uses the alpha-beta forms with topology-derived bandwidth derating;
+    ``"fabric"`` routes every collective's per-step flows over the
+    actual CLOS links (:mod:`repro.collectives.fabric`).
+    """
 
     plan: ParallelPlan
     fabric: ClosFabric
     placement: Optional[Placement] = None
-    node_spec: NodeSpec = None  # type: ignore[assignment]
+    node_spec: Optional[NodeSpec] = None
     cc_efficiency: float = DEFAULT_CC_EFFICIENCY
+    backend: str = "analytic"
 
     def __post_init__(self) -> None:
         if self.node_spec is None:
             self.node_spec = NodeSpec()
         if not 0 < self.cc_efficiency <= 1:
             raise ValueError("cc_efficiency must be in (0, 1]")
+        validate_backend(self.backend)
         self._nic_rate = self.node_spec.nic_spec.line_rate
         self._conflict_factor = cross_pod_conflict_factor()
+        self._fabric_model = None
+        if self.backend == "fabric":
+            self._fabric_model = FabricCostModel(
+                self.fabric, cc_efficiency=self.cc_efficiency, nic_rate=self._nic_rate
+            )
 
     # -- helpers -------------------------------------------------------------
 
@@ -99,18 +115,28 @@ class GroupCommModel:
 
     def dp_collective_time(self, kind: str, size: float, ranks: Optional[List[int]] = None) -> float:
         """Time of one DP collective of ``size`` bytes (full tensor)."""
+        if kind not in ("all_gather", "reduce_scatter", "all_reduce"):
+            raise ValueError(f"unknown DP collective {kind!r}")
         ranks = ranks if ranks is not None else self.plan.dp_group(0)
         n = len(ranks)
         if n == 1:
             return 0.0
+        if self.backend == "fabric":
+            nodes = tuple(self._node_of_rank(r) for r in ranks)
+            return fabric_collective_cost(
+                kind,
+                size,
+                nodes,
+                self.fabric,
+                cc_efficiency=self.cc_efficiency,
+                nic_rate=self._nic_rate,
+            ).time
         bandwidth = self.ring_bandwidth(ranks)
         if kind == "all_gather":
             return ring_all_gather(size, n, bandwidth, INTER_NODE_LATENCY)
         if kind == "reduce_scatter":
             return ring_reduce_scatter(size, n, bandwidth, INTER_NODE_LATENCY)
-        if kind == "all_reduce":
-            return ring_all_reduce(size, n, bandwidth, INTER_NODE_LATENCY)
-        raise ValueError(f"unknown DP collective {kind!r}")
+        return ring_all_reduce(size, n, bandwidth, INTER_NODE_LATENCY)
 
     # -- PP point-to-point -------------------------------------------------------
 
@@ -118,6 +144,9 @@ class GroupCommModel:
         """Activation/gradient transfer between adjacent pipeline stages."""
         if dst_rank is None:
             dst_rank = self.plan.next_pp_rank(src_rank)
+        node_a, node_b = self._node_of_rank(src_rank), self._node_of_rank(dst_rank)
+        if self._fabric_model is not None and node_a != node_b:
+            return self._fabric_model.p2p_time(size, node_a, node_b, flow_id=src_rank)
         bandwidth = self._pair_bandwidth(src_rank, dst_rank)
         return point_to_point(size, bandwidth, INTER_NODE_LATENCY)
 
@@ -127,7 +156,8 @@ class GroupCommModel:
         dp_bw = self.ring_bandwidth(self.plan.dp_group(0))
         return (
             f"GroupCommModel(nic={self._nic_rate / 125e6:.0f}Gbps, "
-            f"cc_eff={self.cc_efficiency:.2f}, dp_ring={dp_bw / 1e9:.1f}GB/s)"
+            f"cc_eff={self.cc_efficiency:.2f}, dp_ring={dp_bw / 1e9:.1f}GB/s, "
+            f"backend={self.backend})"
         )
 
 
@@ -136,11 +166,16 @@ def build_comm_model(
     nodes_per_pod: int = 64,
     node_spec: Optional[NodeSpec] = None,
     cc_efficiency: float = DEFAULT_CC_EFFICIENCY,
+    backend: str = "analytic",
 ) -> GroupCommModel:
     """Convenience constructor: build a right-sized fabric for the plan."""
     node_spec = node_spec or NodeSpec()
     n_nodes = -(-plan.world_size // node_spec.gpus_per_node)
     fabric = ClosFabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
     return GroupCommModel(
-        plan=plan, fabric=fabric, node_spec=node_spec, cc_efficiency=cc_efficiency
+        plan=plan,
+        fabric=fabric,
+        node_spec=node_spec,
+        cc_efficiency=cc_efficiency,
+        backend=backend,
     )

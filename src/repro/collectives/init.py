@@ -23,6 +23,7 @@ per *class* of groups cuts the barrier count to a constant.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..parallel.plan import ParallelPlan
@@ -38,6 +39,15 @@ BARRIERS_ORDERED = 8
 # NCCL communicator bootstrap per group (unique-id broadcast, ring build):
 # charged once per group member, overlapping across groups when ordered.
 NCCL_BOOTSTRAP_PER_RANK = 0.9e-3
+# When group creation is ordered, rendezvous for independent groups
+# pipelines through the store (roughly the store's request-pipeline
+# depth); the naive flow's interleaved barriers serialize it instead.
+ORDERED_RENDEZVOUS_PIPELINING = 4.0
+
+
+def _round_half_up(value: float) -> int:
+    """Round to nearest int, halves up (``int()`` truncation biases low)."""
+    return int(math.floor(value + 0.5))
 
 
 @dataclass(frozen=True)
@@ -93,11 +103,9 @@ def group_init_time(
         + plan.tp * (plan.dp * plan.tp)
         + n
     ) / n_groups
-    rendezvous = n_groups * store.rendezvous_time(max(1, int(avg_group_size)))
-    # When ordered, rendezvous for independent groups overlaps across the
-    # store's pipeline; when naive, the interleaved barriers serialize it.
+    rendezvous = n_groups * store.rendezvous_time(max(1, _round_half_up(avg_group_size)))
     if ordered:
-        rendezvous /= 4.0
+        rendezvous /= ORDERED_RENDEZVOUS_PIPELINING
 
     bootstrap = NCCL_BOOTSTRAP_PER_RANK * (n_groups * avg_group_size) / n
     return InitBreakdown(

@@ -18,6 +18,25 @@ from dataclasses import dataclass
 
 from ..exec.memo import memoized
 
+# Fraction of line rate a well-tuned RDMA transport sustains (framing,
+# congestion-control headroom).  The MegaScale CC work (§3.6) is what
+# keeps this high; the ECMP/fabric models layer the topology losses on
+# top.
+DEFAULT_CC_EFFICIENCY = 0.90
+INTER_NODE_LATENCY = 12e-6  # NIC + 2-6 switch hops + software
+
+# Pricing models selectable wherever a collective is costed: "analytic"
+# is the closed-form alpha-beta family below; "fabric" expands the
+# collective into per-step flows routed over a ClosFabric
+# (:mod:`repro.collectives.fabric`).
+COST_BACKENDS = ("analytic", "fabric")
+
+
+def validate_backend(backend: str) -> str:
+    if backend not in COST_BACKENDS:
+        raise ValueError(f"unknown cost backend {backend!r} (have {COST_BACKENDS})")
+    return backend
+
 
 def _check(size: float, n_ranks: int, bandwidth: float, latency: float) -> None:
     if size < 0:
@@ -101,10 +120,9 @@ _DISPATCH = {
 
 
 @memoized("collective_cost")
-def collective_cost(
+def _analytic_collective_cost(
     kind: str, size: float, n_ranks: int, bandwidth: float, latency: float = 0.0
 ) -> CollectiveCost:
-    """Uniform entry point used by the tracing layer."""
     if kind == "p2p":
         time = point_to_point(size, bandwidth, latency)
     else:
@@ -113,3 +131,38 @@ def collective_cost(
             raise ValueError(f"unknown collective kind {kind!r}")
         time = fn(size, n_ranks, bandwidth, latency)
     return CollectiveCost(kind, size, n_ranks, bandwidth, latency, time)
+
+
+def collective_cost(
+    kind: str,
+    size: float,
+    n_ranks: int,
+    bandwidth: float,
+    latency: float = 0.0,
+    backend: str = "analytic",
+    fabric=None,
+    nodes=None,
+) -> CollectiveCost:
+    """Uniform entry point used by the tracing layer.
+
+    ``backend`` selects the pricing model.  ``"analytic"`` (the default)
+    is the closed-form alpha-beta family above, memoized under the
+    ``collective_cost`` cache.  ``"fabric"`` routes the collective's
+    per-step flow set over a :class:`~repro.network.topology.ClosFabric`
+    — ``fabric=`` and the ring's ``nodes=`` (fabric node index per rank)
+    are then required, ``bandwidth``/``latency`` are ignored in favour
+    of the routed links, and results memoize under the
+    ``fabric_collective_cost`` cache keyed by the fabric's fingerprint
+    (see :mod:`repro.collectives.fabric`).
+    """
+    validate_backend(backend)
+    if backend == "analytic":
+        return _analytic_collective_cost(kind, size, n_ranks, bandwidth, latency)
+    from .fabric import fabric_collective_cost  # imported here: fabric imports us
+
+    if fabric is None or nodes is None:
+        raise ValueError("backend='fabric' needs fabric= and nodes=")
+    routed = fabric_collective_cost(kind, size, tuple(nodes), fabric)
+    return CollectiveCost(
+        kind, size, len(tuple(nodes)), routed.effective_bandwidth, latency, routed.time
+    )

@@ -18,6 +18,7 @@ from ..network.flow import Flow, max_min_fair_rates
 from ..network.link import Link
 from ..network.topology import ClosFabric
 from ..sim import Process, Simulator
+from .fabric import PfcPenaltyModel, routed_step_cost
 
 
 @dataclass
@@ -27,6 +28,9 @@ class RingStepResult:
     step: int
     duration: float
     slowest_pair: int  # ring position of the slowest transfer
+    max_link_load: int = 0  # flows sharing the most-loaded link
+    utilization: float = 0.0  # bottleneck link's allocated-rate utilization
+    paused_flows: int = 0  # flows paying a PFC penalty this step
 
 
 @dataclass
@@ -53,7 +57,15 @@ class RingCollectiveRuntime:
         rail: int = 0,
         per_hop_latency: float = 1e-6,
         software_latency: float = 7e-6,
+        cc_efficiency: float = 1.0,
+        flow_demand: Optional[float] = None,
+        penalty: Optional[PfcPenaltyModel] = None,
     ) -> None:
+        """``cc_efficiency``/``flow_demand``/``penalty`` opt into the
+        fabric backend's derating (see :mod:`repro.collectives.fabric`);
+        the defaults (ideal transport, unbounded demand, no PFC) keep the
+        historical clean-fabric behaviour that matches the alpha-beta
+        closed forms."""
         if not node_of_rank:
             raise ValueError("need at least one rank")
         self.fabric = fabric
@@ -61,6 +73,9 @@ class RingCollectiveRuntime:
         self.rail = rail
         self.per_hop_latency = per_hop_latency
         self.software_latency = software_latency
+        self.cc_efficiency = cc_efficiency
+        self.flow_demand = flow_demand
+        self.penalty = penalty
 
     def _step_paths(self) -> List[List[Link]]:
         """The neighbour-pair link paths used by every ring step."""
@@ -76,22 +91,22 @@ class RingCollectiveRuntime:
         return paths
 
     def _step_duration(self, paths: List[List[Link]], segment_bytes: float) -> RingStepResult:
-        flows = [
-            Flow(flow_id=i, path=path)
-            for i, path in enumerate(paths)
-            if path
-        ]
-        max_min_fair_rates(flows)
-        worst_time = 0.0
-        worst_pair = 0
-        for flow in flows:
-            latency = sum(l.latency for l in flow.path) + self.software_latency
-            t = segment_bytes / flow.rate + latency
-            if t > worst_time:
-                worst_time, worst_pair = t, flow.flow_id
-        if not flows:  # fully intra-host ring
-            worst_time = self.software_latency
-        return RingStepResult(step=0, duration=worst_time, slowest_pair=worst_pair)
+        cost = routed_step_cost(
+            paths,
+            segment_bytes,
+            demand=self.flow_demand,
+            software_latency=self.software_latency,
+            cc_efficiency=self.cc_efficiency,
+            penalty=self.penalty,
+        )
+        return RingStepResult(
+            step=0,
+            duration=cost.duration,
+            slowest_pair=cost.slowest_flow,
+            max_link_load=cost.max_link_load,
+            utilization=cost.utilization,
+            paused_flows=cost.paused_flows,
+        )
 
     def run(
         self,
@@ -134,7 +149,16 @@ class RingCollectiveRuntime:
         def driver():
             for step in range(n_steps):
                 result = self._step_duration(paths, segment)
-                steps.append(RingStepResult(step, result.duration, result.slowest_pair))
+                steps.append(
+                    RingStepResult(
+                        step,
+                        result.duration,
+                        result.slowest_pair,
+                        result.max_link_load,
+                        result.utilization,
+                        result.paused_flows,
+                    )
+                )
                 yield sim.timeout(result.duration)
             done["t"] = sim.now
 
@@ -165,6 +189,19 @@ class RingCollectiveRuntime:
         hub.count("collectives", "bytes_moved", size)
         for step in run.steps:
             hub.observe("collectives", "step_time", step.duration, kind=run.kind)
+        if run.steps:
+            # Rail index doubles as the gauge's rank/tid, keeping one
+            # series per rail.
+            first = run.steps[0]
+            t = start + run.total_time
+            hub.sample(
+                "network", "ring_link_utilization", t=t, value=first.utilization,
+                rank=self.rail,
+            )
+            hub.sample(
+                "network", "ring_max_link_load", t=t, value=float(first.max_link_load),
+                rank=self.rail,
+            )
 
 
 def concurrent_rings_time(

@@ -28,25 +28,35 @@ from .report import Comparison, JobReport
 
 @dataclass
 class TrainingSystem:
-    """A named feature set plus operational policy."""
+    """A named feature set plus operational policy.
+
+    ``backend`` selects the collective cost model for every engine the
+    system builds (see :data:`~repro.collectives.primitives.COST_BACKENDS`).
+    """
 
     name: str
     features: FeatureSet
     evicts_stragglers: bool = True
     straggler_fraction: float = 0.005
     straggler_slowdown: float = 0.90
+    backend: str = "analytic"
     _engines: dict = field(default_factory=dict, repr=False)
 
     def _engine(self, job: TrainingJob) -> IterationEngine:
-        # Key on the full (model, plan, gpu) identity.  The engine's
-        # timings depend on every plan field (zero_stage, recompute,
-        # sequence_parallel, ...) and on the GPU spec, so a narrower key
-        # would hand back a stale engine for jobs differing only there.
-        key = (job.model_spec, job.plan(), job.gpu_spec)
+        # Key on the full (model, plan, gpu, backend) identity.  The
+        # engine's timings depend on every plan field (zero_stage,
+        # recompute, sequence_parallel, ...) and on the GPU spec, so a
+        # narrower key would hand back a stale engine for jobs differing
+        # only there.
+        key = (job.model_spec, job.plan(), job.gpu_spec, self.backend)
         engine = self._engines.get(key)
         if engine is None:
             engine = IterationEngine(
-                job.model_spec, job.plan(), self.features, gpu=job.gpu_spec
+                job.model_spec,
+                job.plan(),
+                self.features,
+                gpu=job.gpu_spec,
+                backend=self.backend,
             )
             self._engines[key] = engine
         return engine
@@ -75,24 +85,33 @@ class TrainingSystem:
         )
 
 
-def megascale(features: Optional[FeatureSet] = None) -> TrainingSystem:
+def megascale(
+    features: Optional[FeatureSet] = None, backend: str = "analytic"
+) -> TrainingSystem:
     """The full MegaScale stack (straggler eviction on)."""
     return TrainingSystem(
         name="MegaScale",
         features=features or MEGASCALE_ISO_BATCH,
         evicts_stragglers=True,
+        backend=backend,
     )
 
 
-def megatron_lm(features: Optional[FeatureSet] = None) -> TrainingSystem:
+def megatron_lm(
+    features: Optional[FeatureSet] = None, backend: str = "analytic"
+) -> TrainingSystem:
     """The Megatron-LM baseline (no overlap features, no eviction)."""
     return TrainingSystem(
         name="Megatron-LM",
         features=features or MEGATRON_LM,
         evicts_stragglers=False,
+        backend=backend,
     )
 
 
-def compare(job: TrainingJob) -> Comparison:
+def compare(job: TrainingJob, backend: str = "analytic") -> Comparison:
     """MegaScale vs Megatron-LM on the same job (a Table 2 cell pair)."""
-    return Comparison(megascale=megascale().run(job), baseline=megatron_lm().run(job))
+    return Comparison(
+        megascale=megascale(backend=backend).run(job),
+        baseline=megatron_lm(backend=backend).run(job),
+    )

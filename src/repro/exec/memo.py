@@ -206,7 +206,10 @@ _COST_MODEL_MODULES = (
     "repro.model.operators",
     "repro.collectives.primitives",
     "repro.collectives.groups",
+    "repro.collectives.fabric",
     "repro.network.ecmp",
+    "repro.network.flow",
+    "repro.network.topology",
     "repro.parallel.zero",
     "repro.parallel.pipeline",
     "repro.training.iteration",

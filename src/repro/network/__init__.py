@@ -24,6 +24,7 @@ from .transport import (
     CommunicationError,
     RetransmitPolicy,
 )
+from .validation import PlacementDelta, ValidationReport, validation_report
 
 __all__ = [
     "ADAPTIVE_NIC",
@@ -41,6 +42,7 @@ __all__ = [
     "LinkFlapper",
     "MegaScaleControl",
     "PfcState",
+    "PlacementDelta",
     "RetransmitPolicy",
     "SwiftControl",
     "Switch",
@@ -50,6 +52,7 @@ __all__ = [
     "TrafficMatrix",
     "Transfer",
     "TransferEngine",
+    "ValidationReport",
     "execute_transfers",
     "agg_role",
     "conflict_stats",
@@ -65,4 +68,5 @@ __all__ = [
     "spine_role",
     "tor_role",
     "transfer_time",
+    "validation_report",
 ]

@@ -121,6 +121,35 @@ class ClosFabric:
         if not 0 <= node < self.n_nodes:
             raise ValueError(f"node {node} outside fabric of {self.n_nodes}")
 
+    def fingerprint(self) -> Tuple:
+        """Hashable identity of the built fabric, for memoization keys.
+
+        Covers the constructor configuration plus the up/down state of
+        every link, so prices cached against one fabric are reused by
+        any identically-configured healthy fabric but never survive a
+        degraded (or differently-built) one.
+        """
+        down = tuple(
+            sorted(
+                f"{src}->{dst}#{i}"
+                for (src, dst), links in self.parallel_links.items()
+                for i, link in enumerate(links)
+                if not link.up
+            )
+        )
+        return (
+            self.n_nodes,
+            self.nodes_per_pod,
+            self.rails,
+            self.aggs_per_pod,
+            self.n_spines,
+            self.tor_uplinks_per_agg,
+            self.agg_uplinks_per_spine,
+            self.split_tor_downlinks,
+            self.nic_rate,
+            down,
+        )
+
     def same_tor(self, a: int, b: int) -> bool:
         """Whether two nodes share their ToR switch set (same pod)."""
         return self.pod_of(a) == self.pod_of(b)

@@ -141,11 +141,12 @@ def candidate_bounds(
     gpu: GpuSpec,
     global_batch: int,
     index: int = 0,
+    backend: str = "analytic",
 ) -> CandidateBounds:
     """Analytic brackets + memory footprint of one candidate (no simulate)."""
     from ..training.iteration import IterationEngine  # avoid import cycle
 
-    engine = IterationEngine(model, plan, features, gpu=gpu)
+    engine = IterationEngine(model, plan, features, gpu=gpu, backend=backend)
     bounds = engine.analytic_bounds(global_batch)
     memory = memory_breakdown(
         model,
@@ -173,14 +174,19 @@ def plan_cache_key(
     features: FeatureSet,
     gpu: GpuSpec,
     global_batch: int,
+    backend: str = "analytic",
 ) -> str:
     """Stable persistent-cache key for one priced (plan, context) point.
 
     Built from the dataclass reprs — every field that influences the
-    engine's answer is part of the key.  The cost-model *code* version
-    is handled separately by the memo's fingerprint.
+    engine's answer is part of the key, including the cost ``backend``.
+    The cost-model *code* version is handled separately by the memo's
+    fingerprint.
     """
-    return f"tuned-plan:{model!r}|{plan!r}|{features!r}|{gpu!r}|gb={global_batch}"
+    key = f"tuned-plan:{model!r}|{plan!r}|{features!r}|{gpu!r}|gb={global_batch}"
+    if backend != "analytic":
+        key += f"|backend={backend}"
+    return key
 
 
 def dominance_prune(
@@ -273,6 +279,7 @@ def search_plans(
     hub=None,
     cache: Optional[PersistentMemo] = None,
     exhaustive: bool = False,
+    backend: str = "analytic",
 ) -> SearchResult:
     """Exact top-k plan search with bound-and-prune (or brute force).
 
@@ -316,17 +323,22 @@ def search_plans(
         screened = screened[:max_candidates]
 
     price: Callable[[ParallelPlan], TunedPlan] = functools.partial(
-        evaluate_plan, model=model, features=features, gpu=gpu, global_batch=global_batch
+        evaluate_plan,
+        model=model,
+        features=features,
+        gpu=gpu,
+        global_batch=global_batch,
+        backend=backend,
     )
     key_fn = (
-        (lambda plan: plan_cache_key(model, plan, features, gpu, global_batch))
+        (lambda plan: plan_cache_key(model, plan, features, gpu, global_batch, backend))
         if cache is not None
         else None
     )
 
     # Stage 1 — cheap closed-form bounds for every candidate.
     candidates = [
-        candidate_bounds(plan, model, features, gpu, global_batch, index=i)
+        candidate_bounds(plan, model, features, gpu, global_batch, index=i, backend=backend)
         for i, plan in enumerate(screened)
     ]
 

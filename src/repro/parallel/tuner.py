@@ -113,6 +113,7 @@ def evaluate_plan(
     features: FeatureSet,
     gpu: GpuSpec,
     global_batch: int,
+    backend: str = "analytic",
 ) -> TunedPlan:
     """Price one candidate with the iteration engine.
 
@@ -121,7 +122,7 @@ def evaluate_plan(
     """
     from ..training.iteration import IterationEngine  # avoid import cycle
 
-    engine = IterationEngine(model, plan, features, gpu=gpu)
+    engine = IterationEngine(model, plan, features, gpu=gpu, backend=backend)
     outcome = engine.simulate(global_batch)
     return TunedPlan(plan=plan, mfu=outcome.mfu, iteration_time=outcome.iteration_time)
 
@@ -141,6 +142,7 @@ def tune_with_stats(
     hub=None,
     cache=None,
     exhaustive: bool = False,
+    backend: str = "analytic",
 ):
     """Exact top-k plans *plus* the search accounting.
 
@@ -169,6 +171,7 @@ def tune_with_stats(
         hub=hub,
         cache=cache,
         exhaustive=exhaustive,
+        backend=backend,
     )
     if result.stats.capped:
         warnings.warn(
@@ -197,6 +200,7 @@ def tune(
     hub=None,
     cache=None,
     exhaustive: bool = False,
+    backend: str = "analytic",
 ) -> List[TunedPlan]:
     """The exact ``top_k`` feasible plans by MFU (= iteration time).
 
@@ -215,8 +219,11 @@ def tune(
     exact pricing out over worker processes via :mod:`repro.exec`;
     ``cache`` (a :class:`~repro.exec.memo.PersistentMemo`) carries
     priced points across runs; ``hub`` collects search telemetry on the
-    ``exec`` lane.  Use :func:`tune_with_stats` to also get the
-    enumerated / pruned / evaluated accounting.
+    ``exec`` lane.  ``backend`` selects the collective cost model
+    (``"analytic"`` alpha-beta forms or ``"fabric"`` flow-level routing,
+    see :data:`~repro.collectives.primitives.COST_BACKENDS`).  Use
+    :func:`tune_with_stats` to also get the enumerated / pruned /
+    evaluated accounting.
     """
     results, _stats = tune_with_stats(
         model,
@@ -233,5 +240,6 @@ def tune(
         hub=hub,
         cache=cache,
         exhaustive=exhaustive,
+        backend=backend,
     )
     return results

@@ -14,6 +14,7 @@ Two optimizations, each with a measurable stall mechanism:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..core.features import FeatureSet
 from ..hardware.node import NodeSpec
@@ -37,6 +38,7 @@ class DataPipelineCost:
     fanout_time: float  # host memory -> per-worker buffers
     preprocess_time: float
     exposed_stall: float  # what actually lands on the critical path
+    preprocess_exposed: float = 0.0  # preprocessing not hidden by the window
 
 
 def iteration_tokens_per_host(model: ModelSpec, plan: ParallelPlan, global_batch: int) -> float:
@@ -54,9 +56,18 @@ def data_pipeline_cost(
     plan: ParallelPlan,
     global_batch: int,
     features: FeatureSet,
-    node: NodeSpec = None,  # type: ignore[assignment]
+    node: Optional[NodeSpec] = None,
+    hide_window: Optional[float] = None,
 ) -> DataPipelineCost:
-    """Stall model for the configured data path."""
+    """Stall model for the configured data path.
+
+    ``hide_window`` is the time step ``i``'s gradient synchronization
+    gives the async pipeline to preprocess step ``i+1``'s batch.  When
+    preprocessing outgrows the window the excess lands back on the
+    critical path — the §3.4 optimization only removes the stall while
+    preprocessing *fits inside an iteration*.  ``None`` means "assume it
+    fits" (the historical behaviour).
+    """
     node = node or NodeSpec()
     tokens = iteration_tokens_per_host(model, plan, global_batch)
     unique_bytes = tokens * BYTES_PER_TOKEN_ON_DISK * READ_AMPLIFICATION
@@ -76,15 +87,20 @@ def data_pipeline_cost(
 
     if features.async_data_pipeline:
         # Preprocessing for step i+1 hides under step i's gradient sync;
-        # the residual is the (small) copy-in at step start.
-        exposed = fanout + read * 0.1
+        # whatever outgrows that window stalls, plus the (small) copy-in
+        # at step start.
+        window = float("inf") if hide_window is None else max(0.0, hide_window)
+        preprocess_exposed = max(0.0, preprocess - window)
+        exposed = fanout + read * 0.1 + preprocess_exposed
     else:
+        preprocess_exposed = preprocess
         exposed = read + fanout + preprocess
     return DataPipelineCost(
         read_time=read,
         fanout_time=fanout,
         preprocess_time=preprocess,
         exposed_stall=exposed,
+        preprocess_exposed=preprocess_exposed,
     )
 
 

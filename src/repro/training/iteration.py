@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 from ..collectives.groups import GroupCommModel, build_comm_model
+from ..collectives.primitives import validate_backend
 from ..core.features import FeatureSet
 from ..hardware.gpu import AMPERE, GpuSpec
 from ..model.blocks import activation_bytes, block_cost, embedding_cost, logits_block_cost
@@ -96,13 +97,19 @@ class IterationEngine:
         gpu: GpuSpec = AMPERE,
         comm_model: Optional[GroupCommModel] = None,
         peak_flops: Optional[float] = None,
+        backend: str = "analytic",
     ) -> None:
+        """``backend`` selects the collective cost backend ("analytic" or
+        "fabric", see :mod:`repro.collectives.fabric`) for the comm model
+        built here; an explicitly passed ``comm_model`` keeps its own."""
+        validate_backend(backend)
         self.base_model = model
         self.plan = plan
         self.features = features
         self.gpu = gpu
         self.peak_flops = peak_flops or gpu.peak_flops
-        self.comm = comm_model or build_comm_model(plan)
+        self.comm = comm_model or build_comm_model(plan, backend=backend)
+        self.backend = self.comm.backend
         # Apply the algorithmic options to the executed model.  MFU is
         # still computed against the full-attention reference model.
         self.exec_model = model.with_options(
@@ -299,12 +306,23 @@ class IterationEngine:
 
     def _dp_phase_times(self, global_batch: int):
         """(data_cost, dp_exposure, optimizer_time) — the closed-form,
-        non-pipeline phases of :meth:`simulate`, priced exactly."""
-        data = data_pipeline_cost(self.base_model, self.plan, global_batch, self.features)
-        window = overlap_window(data, self.features)
+        non-pipeline phases of :meth:`simulate`, priced exactly.
+
+        DP collective times are computed first: the asynchronous data
+        pipeline hides next-step preprocessing under *this* step's
+        gradient synchronization (§3.4), so that phase's duration is the
+        finite hide window ``data_pipeline_cost`` charges residuals
+        against."""
         events = dp_comm_events(self.base_model, self.plan)
-        times = [self.comm.dp_collective_time(e.kind, e.size) for e in events]
-        dp = dp_exposed_time(times, self.features, data_load_window=window)
+        timed = [(e, self.comm.dp_collective_time(e.kind, e.size)) for e in events]
+        grad_sync = sum(
+            t for e, t in timed if e.kind in ("reduce_scatter", "all_reduce")
+        )
+        data = data_pipeline_cost(
+            self.base_model, self.plan, global_batch, self.features, hide_window=grad_sync
+        )
+        window = overlap_window(data, self.features)
+        dp = dp_exposed_time(timed, self.features, data_load_window=window)
         optimizer = optimizer_step_time(self.base_model, self.plan, self.gpu.memory_bandwidth)
         return data, dp, optimizer
 

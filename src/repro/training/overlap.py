@@ -21,7 +21,7 @@ with compute) under a given :class:`~repro.core.features.FeatureSet`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 from ..core.features import FeatureSet
 from ..model.blocks import BlockCost
@@ -101,30 +101,69 @@ class DpExposure:
     total_comm: float  # all DP collective seconds (hidden + exposed)
 
 
+_DP_KINDS = ("all_gather", "reduce_scatter", "all_reduce")
+
+
+def _typed_pairs(collective_times: Sequence) -> List[Tuple[str, float]]:
+    """Normalize to (kind, seconds) pairs; reject untagged durations."""
+    pairs: List[Tuple[str, float]] = []
+    for item in collective_times:
+        if isinstance(item, (int, float)):
+            raise TypeError(
+                "dp_exposed_time takes (kind, seconds) pairs — "
+                "dp_comm_events interleaves all-gathers and reduce-scatters "
+                "per chunk (and emits only all-reduces for ZeRO-0), so a "
+                "bare duration cannot be classified by position"
+            )
+        tag, seconds = item
+        kind = tag if isinstance(tag, str) else getattr(tag, "kind", None)
+        if kind not in _DP_KINDS:
+            raise ValueError(f"unknown DP collective kind tag {tag!r}")
+        pairs.append((kind, float(seconds)))
+    return pairs
+
+
 def dp_exposed_time(
-    collective_times: List[float],
+    collective_times: Sequence,
     features: FeatureSet,
     data_load_window: float,
 ) -> DpExposure:
-    """Exposed time of the per-chunk ZeRO-2 collectives.
+    """Exposed time of the per-chunk DP collectives.
 
-    ``collective_times`` is ordered: all-gathers (per chunk, forward
-    order) followed by reduce-scatters (per chunk, backward order), as
-    produced by :func:`repro.parallel.zero.dp_comm_events`.
+    ``collective_times`` is a sequence of ``(event, seconds)`` pairs in
+    launch order, where ``event`` is a kind tag (``"all_gather"`` /
+    ``"reduce_scatter"`` / ``"all_reduce"``) or anything with a ``kind``
+    attribute, e.g. a :class:`~repro.parallel.zero.DpCommEvent`.
+    :func:`~repro.parallel.zero.dp_comm_events` interleaves the pairs
+    per chunk (ag0, rs0, ag1, rs1, ...) and emits only all-reduces for
+    ZeRO-0, so events are classified by kind, never by position.
 
     Without overlap every collective serializes (Megatron launches them
-    around the iteration).  With overlap, only the first all-gather
-    (minus the data-loading window it is prefetched under, per §3.2) and
-    the last reduce-scatter stay exposed.
+    around the iteration).  With overlap:
+
+    * only the *first* all-gather stays exposed, minus the data-loading
+      window it is prefetched under (§3.2) — later chunks' gathers hide
+      behind earlier chunks' forward compute;
+    * only the *last* reduce-scatter stays exposed — earlier chunks'
+      scatters hide behind the remaining backward compute;
+    * a ZeRO-0 all-reduce needs its chunk's gradients before it can
+      start, so nothing prefetches it: the last chunk's all-reduce is
+      fully exposed with no data-loading credit.
     """
-    total = sum(collective_times)
+    pairs = _typed_pairs(collective_times)
+    total = sum(t for _, t in pairs)
     if total == 0.0:
         return DpExposure(0.0, 0.0)
     if not features.dp_overlap:
         return DpExposure(total, total)
-    gathers = [t for t in collective_times[: len(collective_times) // 2]]
-    scatters = [t for t in collective_times[len(collective_times) // 2 :]]
-    first_ag = gathers[0] if gathers else 0.0
-    last_rs = scatters[-1] if scatters else 0.0
-    exposed = max(0.0, first_ag - data_load_window) + last_rs
+    gathers = [t for k, t in pairs if k == "all_gather"]
+    scatters = [t for k, t in pairs if k == "reduce_scatter"]
+    reduces = [t for k, t in pairs if k == "all_reduce"]
+    exposed = 0.0
+    if gathers:
+        exposed += max(0.0, gathers[0] - data_load_window)
+    if scatters:
+        exposed += scatters[-1]
+    if reduces:
+        exposed += reduces[-1]
     return DpExposure(exposed, total)

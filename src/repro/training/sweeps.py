@@ -7,6 +7,7 @@ GPUs), weak scaling (batch proportional to GPUs), and batch sweeps.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
@@ -21,12 +22,26 @@ def job_cache_key(kind: str, fn: Callable, job: TrainingJob) -> str:
 
     The dataclass reprs carry every field that influences the result;
     the comparison function's qualified name separates e.g. ``compare``
-    sweeps from custom pricing functions.  Cost-model *code* changes are
-    handled by the memo's fingerprint.
+    sweeps from custom pricing functions.  A ``functools.partial`` is
+    unwrapped to its base function plus its bound arguments, so e.g.
+    ``partial(compare, backend="fabric")`` keys differently from plain
+    ``compare`` — a bare qualname lookup would silently collide them.
+    Cost-model *code* changes are handled by the memo's fingerprint.
     """
-    fn_name = getattr(fn, "__qualname__", None) or repr(fn)
-    fn_module = getattr(fn, "__module__", "")
-    return f"sweep:{kind}:{fn_module}.{fn_name}|{job!r}"
+    bound: dict = {}
+    inner = fn
+    while isinstance(inner, functools.partial):
+        # Outer partials override inner ones at call time, and we unwrap
+        # outside-in, so first writer wins.
+        for k, v in (inner.keywords or {}).items():
+            bound.setdefault(k, v)
+        if inner.args:
+            bound.setdefault("__args__", inner.args)
+        inner = inner.func
+    fn_name = getattr(inner, "__qualname__", None) or repr(inner)
+    fn_module = getattr(inner, "__module__", "")
+    suffix = "".join(f"|{k}={bound[k]!r}" for k in sorted(bound))
+    return f"sweep:{kind}:{fn_module}.{fn_name}|{job!r}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -119,20 +134,37 @@ def _run_comparison_sweep(
     return SweepResult(kind=kind, points=points, stats=stats)
 
 
+def _bind_backend(
+    compare_fn: Callable[[TrainingJob], Comparison], backend: str
+) -> Callable[[TrainingJob], Comparison]:
+    """Bind a non-default cost backend onto the comparison function.
+
+    The default backend leaves ``compare_fn`` untouched so existing
+    persistent-cache keys (built from the bare function) stay valid.
+    """
+    if backend == "analytic":
+        return compare_fn
+    return functools.partial(compare_fn, backend=backend)
+
+
 def strong_scaling_sweep(
     base_job: TrainingJob,
     gpu_counts: Sequence[int],
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
     workers: int = 0,
     cache: Optional[PersistentMemo] = None,
+    backend: str = "analytic",
 ) -> SweepResult:
     """Fixed global batch across growing GPU counts (Table 2's regime).
 
     ``workers`` fans points out over worker processes (see
     :mod:`repro.exec`); 0 keeps the exact serial path.  ``cache`` (a
     :class:`~repro.exec.memo.PersistentMemo`) skips points priced by
-    earlier invocations.
+    earlier invocations.  ``backend`` selects the collective cost model;
+    a non-default backend binds onto ``compare_fn`` (so analytic cache
+    keys are unchanged).
     """
+    compare_fn = _bind_backend(compare_fn, backend)
     jobs = [base_job.scaled_to(n) for n in gpu_counts]
     batches = [base_job.global_batch] * len(jobs)
     return _run_comparison_sweep("strong", jobs, batches, compare_fn, workers, cache)
@@ -145,8 +177,10 @@ def weak_scaling_sweep(
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
     workers: int = 0,
     cache: Optional[PersistentMemo] = None,
+    backend: str = "analytic",
 ) -> SweepResult:
     """Batch proportional to GPU count (Figure 9's regime)."""
+    compare_fn = _bind_backend(compare_fn, backend)
     ratio = (
         batch_per_gpu
         if batch_per_gpu is not None
@@ -163,8 +197,10 @@ def batch_sweep(
     compare_fn: Callable[[TrainingJob], Comparison] = compare,
     workers: int = 0,
     cache: Optional[PersistentMemo] = None,
+    backend: str = "analytic",
 ) -> SweepResult:
     """Fixed GPUs, varying global batch (the LAMB scaling axis)."""
+    compare_fn = _bind_backend(compare_fn, backend)
     jobs = [base_job.scaled_to(base_job.n_gpus, b) for b in batches]
     return _run_comparison_sweep("batch", jobs, list(batches), compare_fn, workers, cache)
 

@@ -1,0 +1,251 @@
+"""Tests for the flow-level fabric cost backend (§3.6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collectives import (
+    COST_BACKENDS,
+    DEFAULT_CC_EFFICIENCY,
+    FabricCostModel,
+    GroupCommModel,
+    PfcPenaltyModel,
+    build_comm_model,
+    collective_cost,
+    fabric_collective_cost,
+    ring_all_gather,
+    ring_all_reduce,
+    routed_step_cost,
+    validate_backend,
+)
+from repro.collectives.fabric import RING_SOFTWARE_LATENCY
+from repro.collectives.primitives import INTER_NODE_LATENCY
+from repro.exec.memo import get_cache
+from repro.network import ClosFabric
+from repro.parallel import ParallelPlan
+
+
+def _fabric(n_nodes=16, nodes_per_pod=8):
+    return ClosFabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
+
+
+# -- alpha-beta degeneration ---------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    size=st.floats(min_value=1e3, max_value=4e9),
+    kind=st.sampled_from(["all_gather", "reduce_scatter", "all_reduce"]),
+)
+def test_fabric_degenerates_to_alpha_beta_on_single_tor_group(n, size, kind):
+    # Uncongested single-ToR ring: the routed price must match the
+    # closed-form alpha-beta model at the NIC's derated bandwidth.
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    model = FabricCostModel(fabric)
+    routed = model.collective_cost(kind, size, tuple(range(n)))
+    analytic_fn = ring_all_reduce if kind == "all_reduce" else ring_all_gather
+    analytic = analytic_fn(
+        size, n, fabric.nic_rate * DEFAULT_CC_EFFICIENCY, INTER_NODE_LATENCY
+    )
+    assert routed.time == pytest.approx(analytic, rel=1e-9)
+
+
+def test_ring_software_latency_tops_up_to_inter_node_latency():
+    # The degeneration above is exact because a clean intra-pod path
+    # (two 1 us links) plus the software latency equals the analytic
+    # model's per-step latency.
+    assert RING_SOFTWARE_LATENCY + 2e-6 == pytest.approx(INTER_NODE_LATENCY)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    size=st.floats(min_value=1e6, max_value=4e9),
+    kind=st.sampled_from(["all_gather", "all_reduce"]),
+)
+def test_same_tor_never_slower_than_cross_pod(n, size, kind):
+    fabric = _fabric(n_nodes=16, nodes_per_pod=8)
+    model = FabricCostModel(fabric)
+    near = model.collective_cost(kind, size, tuple(range(n)))
+    spread = tuple((i % 2) * 8 + i // 2 for i in range(n))  # alternate pods
+    far = model.collective_cost(kind, size, spread)
+    assert near.time <= far.time
+
+
+# -- routed step mechanics -----------------------------------------------------
+
+
+def test_empty_paths_are_same_host():
+    fabric = _fabric()
+    model = FabricCostModel(fabric)
+    # All ranks on one node: no inter-node flows, latency-only steps.
+    cost = model.collective_cost("all_gather", 1e9, (3, 3, 3, 3))
+    assert cost.step.n_flows == 0
+    assert cost.time == pytest.approx(3 * RING_SOFTWARE_LATENCY)
+
+
+def test_zero_size_and_single_node_are_free():
+    model = FabricCostModel(_fabric())
+    assert model.collective_cost("all_gather", 0.0, (0, 1, 2)).time == 0.0
+    assert model.collective_cost("all_reduce", 1e9, (0,)).time == 0.0
+
+
+def test_unsupported_kind_rejected():
+    with pytest.raises(ValueError):
+        FabricCostModel(_fabric()).collective_cost("broadcast", 1e6, (0, 1))
+
+
+def test_p2p_time_same_node_free_and_cross_pod_slower():
+    model = FabricCostModel(_fabric(n_nodes=16, nodes_per_pod=8))
+    assert model.p2p_time(1e8, 2, 2) == 0.0
+    same_pod = model.p2p_time(1e8, 0, 1)
+    cross_pod = model.p2p_time(1e8, 0, 9)
+    assert 0.0 < same_pod < cross_pod
+
+
+def test_pfc_penalty_validation_and_pause_curve():
+    with pytest.raises(ValueError):
+        PfcPenaltyModel(pause_per_excess=-0.1)
+    with pytest.raises(ValueError):
+        PfcPenaltyModel(max_pause_fraction=1.0)
+    with pytest.raises(ValueError):
+        PfcPenaltyModel(retransmit_latency=-1.0)
+    p = PfcPenaltyModel(pause_per_excess=0.1, max_pause_fraction=0.3)
+    assert p.pause_fraction(1.0) == 0.0
+    assert p.pause_fraction(2.0) == pytest.approx(0.1)
+    assert p.pause_fraction(100.0) == pytest.approx(0.3)  # capped
+
+
+def test_pfc_penalty_kicks_in_at_three_flows_on_split_uplink():
+    # Port splitting (§3.6): a 2x-rate uplink absorbs two NIC-rate flows;
+    # a penalty requires 3+ colliding flows.
+    from repro.network import Link
+
+    penalty = PfcPenaltyModel()
+    shared = Link(src="tor", dst="agg", bandwidth=2.0, latency=1e-6)
+    for n_flows, expect_paused in ((2, 0), (3, 3)):
+        paths = [[shared] for _ in range(n_flows)]
+        cost = routed_step_cost(paths, 1e6, demand=1.0, penalty=penalty)
+        assert cost.paused_flows == expect_paused
+
+
+def test_unbounded_demand_never_pays_pfc():
+    fabric = _fabric()
+    paths = [fabric.path(i, (i + 1) % 8, rail=0, flow_id=i) for i in range(8)]
+    cost = routed_step_cost(paths, 1e6, demand=None, penalty=PfcPenaltyModel())
+    assert cost.paused_flows == 0
+    assert cost.oversubscription == 0.0
+
+
+# -- backend dispatch ----------------------------------------------------------
+
+
+def test_validate_backend():
+    assert set(COST_BACKENDS) == {"analytic", "fabric"}
+    for backend in COST_BACKENDS:
+        assert validate_backend(backend) == backend
+    with pytest.raises(ValueError):
+        validate_backend("quantum")
+
+
+def test_collective_cost_fabric_dispatch():
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    nodes = (0, 1, 2, 3)
+    routed = collective_cost(
+        "all_gather", 1e9, 4, 1.0, backend="fabric", fabric=fabric, nodes=nodes
+    )
+    direct = fabric_collective_cost("all_gather", 1e9, nodes, fabric)
+    assert routed.time == pytest.approx(direct.time)
+    with pytest.raises(ValueError):
+        collective_cost("all_gather", 1e9, 4, 1.0, backend="fabric")
+
+
+def test_group_comm_model_backend():
+    plan = ParallelPlan(dp=4, tp=8, pp=2)
+    analytic = build_comm_model(plan, backend="analytic")
+    fab = build_comm_model(plan, backend="fabric")
+    assert "backend=fabric" in fab.describe()
+    # Single-pod DP ring: the two backends agree (degeneration).
+    size = 1e9
+    assert fab.dp_collective_time("all_gather", size) == pytest.approx(
+        analytic.dp_collective_time("all_gather", size), rel=1e-6
+    )
+    with pytest.raises(ValueError):
+        build_comm_model(plan, backend="exact")
+
+
+def test_group_comm_model_fabric_p2p():
+    # PP neighbours across nodes route through the fabric model.
+    plan = ParallelPlan(dp=2, tp=8, pp=4)
+    fab = build_comm_model(plan, backend="fabric")
+    analytic = build_comm_model(plan, backend="analytic")
+    assert fab.pp_p2p_time(50e6) == pytest.approx(analytic.pp_p2p_time(50e6), rel=0.05)
+
+
+def test_iteration_engine_backend_roundtrip():
+    from repro.model import MODEL_CATALOG
+    from repro.training import IterationEngine
+
+    model = MODEL_CATALOG["gpt-7b"]
+    # tp=8 puts each DP-group rank on its own node (group stride = tp), so
+    # the single-pod ring degenerates exactly to the analytic price.
+    plan = ParallelPlan(dp=2, tp=8, pp=1, vpp=1, zero_stage=2)
+    from repro.core.features import MEGASCALE_ISO_BATCH
+
+    a = IterationEngine(model, plan, MEGASCALE_ISO_BATCH).simulate(32)
+    f = IterationEngine(model, plan, MEGASCALE_ISO_BATCH, backend="fabric").simulate(32)
+    assert f.iteration_time == pytest.approx(a.iteration_time, rel=1e-6)
+    with pytest.raises(ValueError):
+        IterationEngine(model, plan, MEGASCALE_ISO_BATCH, backend="nope")
+
+
+# -- memoization ---------------------------------------------------------------
+
+
+def test_fabric_cost_memoized_by_fingerprint():
+    cache = get_cache("fabric_collective_cost")
+    cache.reset()
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    nodes = (0, 1, 2, 3)
+    first = fabric_collective_cost("all_gather", 1e9, nodes, fabric)
+    assert cache.misses == 1 and cache.hits == 0
+    again = fabric_collective_cost("all_gather", 1e9, nodes, fabric)
+    assert cache.hits == 1
+    assert again is first
+    # An identically-configured healthy fabric shares the entry...
+    twin = _fabric(n_nodes=8, nodes_per_pod=8)
+    fabric_collective_cost("all_gather", 1e9, nodes, twin)
+    assert cache.hits == 2
+    # ...but a degraded one never does, even when the downed link (a ToR
+    # uplink) is off this collective's intra-pod paths.
+    twin.parallel_links[("tor0.0", "agg0.0")][0].up = False
+    fabric_collective_cost("all_gather", 1e9, nodes, twin)
+    assert cache.misses == 2
+
+
+def test_fabric_memo_telemetry_only_on_fresh_compute():
+    from repro.observability import TelemetryHub
+
+    cache = get_cache("fabric_collective_cost")
+    cache.reset()
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    hub = TelemetryHub(job_name="t")
+    fabric_collective_cost("reduce_scatter", 1e8, (0, 1), fabric, hub=hub)
+    fabric_collective_cost("reduce_scatter", 1e8, (0, 1), fabric, hub=hub)
+    assert hub.metrics.counter("collectives.fabric_priced", kind="reduce_scatter") == 1.0
+    assert hub.session.span_count("collectives") == 1
+
+
+def test_runtime_defaults_unchanged_by_fabric_knobs():
+    # The event runtime's historical clean-fabric behaviour (ideal
+    # transport, no demand cap, no PFC) is the default.
+    from repro.collectives.runtime import RingCollectiveRuntime
+
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    runtime = RingCollectiveRuntime(fabric, node_of_rank=list(range(4)))
+    assert runtime.cc_efficiency == 1.0
+    assert runtime.flow_demand is None
+    assert runtime.penalty is None
+    run = runtime.run("all_gather", 1e9)
+    assert run.steps[0].paused_flows == 0

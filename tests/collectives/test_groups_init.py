@@ -95,6 +95,34 @@ def test_paper_init_sequence_2048():
     assert seq["redis_ordered"] < 5.0
 
 
+@pytest.mark.parametrize("n_gpus", [256, 2048, 12288])
+def test_paper_sequence_strictly_ordered(n_gpus):
+    # Each optimization must strictly improve on the previous at every
+    # scale, not just the paper's 2048-GPU calibration point.
+    seq = paper_sequence(plan_for_gpus(n_gpus, tp=8, pp=8, vpp=6))
+    assert seq["tcpstore_naive"] > seq["redis_naive"] > seq["redis_ordered"]
+
+
+def test_ordered_rendezvous_uses_named_pipelining_constant():
+    from repro.collectives.init import ORDERED_RENDEZVOUS_PIPELINING
+
+    plan = plan_for_gpus(2048, tp=8, pp=8, vpp=6)
+    naive = group_init_time(plan, REDIS_STORE, ordered=False)
+    ordered = group_init_time(plan, REDIS_STORE, ordered=True)
+    assert ordered.rendezvous_time == pytest.approx(
+        naive.rendezvous_time / ORDERED_RENDEZVOUS_PIPELINING
+    )
+
+
+def test_round_half_up_group_sizing():
+    from repro.collectives.init import _round_half_up
+
+    assert _round_half_up(12.29) == 12
+    assert _round_half_up(12.5) == 13
+    assert _round_half_up(12.51) == 13
+    assert _round_half_up(12.0) == 12
+
+
 def test_init_under_30s_at_10k_gpus():
     plan = plan_for_gpus(12288, tp=8, pp=8, vpp=6)
     assert init_time_seconds(plan, "redis", ordered=True) < 30.0

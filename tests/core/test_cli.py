@@ -92,3 +92,19 @@ def test_trace_command_summarizes_lanes(tmp_path, capsys):
     assert main(["trace", str(trace), "--lane", "training"]) == 0
     out = capsys.readouterr().out
     assert "rank" in out  # ASCII timeline rendered
+
+
+def test_tune_command_fabric_backend(capsys):
+    argv = [
+        "tune", "--model", "gpt-13b", "--gpus", "16", "--batch", "64",
+        "--top", "2", "--backend", "fabric",
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "#1" in out and "MFU" in out
+
+
+def test_compare_command_fabric_backend(capsys):
+    argv = ["compare", "--gpus", "256", "--batch", "768", "--backend", "fabric"]
+    assert main(argv) == 0
+    assert "speedup" in capsys.readouterr().out

@@ -147,3 +147,21 @@ def test_tune_exhaustive_matches_pruned():
     pruned = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5)
     brute = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=5, exhaustive=True)
     assert pruned == brute
+
+
+# -- fabric cost backend -------------------------------------------------------
+
+
+def test_tune_fabric_backend_end_to_end():
+    results = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=3, backend="fabric")
+    assert 1 <= len(results) <= 3
+    assert all(r.iteration_time > 0 and 0 < r.mfu < 1 for r in results)
+    # 16 GPUs = 2 nodes in one pod: the fabric price degenerates to the
+    # analytic one, so the leaderboards must coincide.
+    analytic = tune(GPT_13B, n_gpus=16, global_batch=64, top_k=3)
+    assert [r.plan for r in results] == [r.plan for r in analytic]
+
+
+def test_tune_rejects_unknown_backend():
+    with pytest.raises(ValueError):
+        tune(GPT_13B, n_gpus=16, global_batch=64, backend="exact")

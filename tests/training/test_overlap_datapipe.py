@@ -63,30 +63,83 @@ def test_pp_policy_coupled_blocks_fully_in_warmup():
     assert 0 < policy.sender_block_time(2e-3, "steady") < 2e-3
 
 
+# Interleaved per-chunk launch order, as dp_comm_events emits it for
+# ZeRO >= 1: (ag0, rs0, ag1, rs1, ...).
+TYPED_TIMES = [("all_gather", 0.03), ("reduce_scatter", 0.04)] * 6
+
+
 def test_dp_exposure_without_overlap_is_total():
-    times = [0.03] * 6 + [0.04] * 6  # 6 AGs then 6 RSs
-    exp = dp_exposed_time(times, MEGATRON_LM, data_load_window=0.0)
-    assert exp.exposed == pytest.approx(sum(times))
-    assert exp.total_comm == pytest.approx(sum(times))
+    exp = dp_exposed_time(TYPED_TIMES, MEGATRON_LM, data_load_window=0.0)
+    assert exp.exposed == pytest.approx(6 * 0.03 + 6 * 0.04)
+    assert exp.total_comm == pytest.approx(6 * 0.03 + 6 * 0.04)
 
 
 def test_dp_exposure_with_overlap_first_ag_last_rs():
-    times = [0.03] * 6 + [0.04] * 6
-    exp = dp_exposed_time(times, MEGASCALE, data_load_window=0.0)
+    exp = dp_exposed_time(TYPED_TIMES, MEGASCALE, data_load_window=0.0)
     assert exp.exposed == pytest.approx(0.03 + 0.04)
 
 
 def test_dp_first_ag_hides_under_data_loading():
-    times = [0.03] * 6 + [0.04] * 6
-    exp = dp_exposed_time(times, MEGASCALE, data_load_window=0.02)
+    exp = dp_exposed_time(TYPED_TIMES, MEGASCALE, data_load_window=0.02)
     assert exp.exposed == pytest.approx(0.01 + 0.04)
-    fully = dp_exposed_time(times, MEGASCALE, data_load_window=0.5)
+    fully = dp_exposed_time(TYPED_TIMES, MEGASCALE, data_load_window=0.5)
     assert fully.exposed == pytest.approx(0.04)
 
 
 def test_dp_exposure_empty():
     exp = dp_exposed_time([], MEGASCALE, 0.0)
     assert exp.exposed == 0.0 and exp.total_comm == 0.0
+
+
+def test_dp_exposure_rejects_untyped_durations():
+    # The old positional half-split misclassified interleaved and ZeRO-0
+    # event lists; bare floats are now an error, not a guess.
+    with pytest.raises(TypeError):
+        dp_exposed_time([0.03] * 6 + [0.04] * 6, MEGASCALE, 0.0)
+
+
+def test_dp_exposure_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        dp_exposed_time([("broadcast", 0.03)], MEGASCALE, 0.0)
+
+
+def test_dp_exposure_accepts_event_objects():
+    from repro.parallel.zero import DpCommEvent
+
+    events = [
+        (DpCommEvent("all_gather", 1e9, 0, "forward"), 0.03),
+        (DpCommEvent("reduce_scatter", 1e9, 0, "backward"), 0.04),
+    ]
+    exp = dp_exposed_time(events, MEGASCALE, data_load_window=0.0)
+    assert exp.exposed == pytest.approx(0.03 + 0.04)
+
+
+@pytest.mark.parametrize("vpp", [1, 2, 4])
+def test_dp_exposure_zero0_all_reduce_not_prefetchable(vpp):
+    # ZeRO-0 emits only all-reduces; they need the chunk's gradients, so
+    # the data-loading window must give no credit.
+    times = [("all_reduce", 0.05)] * vpp
+    exp = dp_exposed_time(times, MEGASCALE, data_load_window=10.0)
+    assert exp.exposed == pytest.approx(0.05)
+    assert exp.total_comm == pytest.approx(0.05 * vpp)
+
+
+@pytest.mark.parametrize("vpp", [1, 2, 4])
+def test_dp_exposure_zero1_interleaved_events(vpp):
+    # Events from dp_comm_events interleave per chunk; exposure must be
+    # first AG (minus window) + last RS, independent of interleaving.
+    from repro.parallel.zero import dp_comm_events
+
+    plan = ParallelPlan(dp=4, tp=8, pp=8, vpp=vpp, zero_stage=1)
+    events = dp_comm_events(GPT_175B, plan)
+    kinds = [e.kind for e in events]
+    assert kinds == ["all_gather", "reduce_scatter"] * vpp
+    timed = [(e, 0.01 * (i + 1)) for i, e in enumerate(events)]
+    exp = dp_exposed_time(timed, MEGASCALE, data_load_window=0.002)
+    first_ag = timed[0][1]
+    last_rs = timed[-1][1]
+    assert exp.exposed == pytest.approx((first_ag - 0.002) + last_rs)
+    assert exp.total_comm == pytest.approx(sum(t for _, t in timed))
 
 
 def test_tokens_per_host():
@@ -120,3 +173,33 @@ def test_baseline_stall_magnitude():
 def test_overlap_window_positive():
     cost = data_pipeline_cost(GPT_175B, PLAN, 256, MEGASCALE)
     assert overlap_window(cost, MEGASCALE) > 0.0
+
+
+def test_async_preprocessing_residual_when_window_too_small():
+    # The async pipeline only hides preprocessing that fits inside the
+    # gradient-sync window; the excess stalls the iteration.
+    wide = data_pipeline_cost(GPT_175B, PLAN, 256, MEGASCALE, hide_window=1e9)
+    assert wide.preprocess_exposed == 0.0
+    narrow_window = wide.preprocess_time / 2
+    narrow = data_pipeline_cost(
+        GPT_175B, PLAN, 256, MEGASCALE, hide_window=narrow_window
+    )
+    assert narrow.preprocess_exposed == pytest.approx(
+        wide.preprocess_time - narrow_window
+    )
+    assert narrow.exposed_stall == pytest.approx(
+        wide.exposed_stall + narrow.preprocess_exposed
+    )
+
+
+def test_async_preprocessing_default_window_assumes_fit():
+    # hide_window=None keeps the historical "always fits" behaviour.
+    default = data_pipeline_cost(GPT_175B, PLAN, 256, MEGASCALE)
+    assert default.preprocess_exposed == 0.0
+    zero = data_pipeline_cost(GPT_175B, PLAN, 256, MEGASCALE, hide_window=0.0)
+    assert zero.preprocess_exposed == pytest.approx(zero.preprocess_time)
+
+
+def test_sync_pipeline_exposes_all_preprocessing():
+    sync = data_pipeline_cost(GPT_175B, PLAN, 256, MEGATRON_LM, hide_window=1e9)
+    assert sync.preprocess_exposed == pytest.approx(sync.preprocess_time)
