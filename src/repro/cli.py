@@ -9,6 +9,7 @@ Commands mirror the paper's experiments:
 * ``production`` — a fault-injected multi-week run (Figure 11)
 * ``tune`` — auto-tune the 3D parallelism for a model + GPU count
 * ``trace`` — inspect/render a saved telemetry trace document
+* ``validate`` — fabric-vs-analytic agreement report (§3.6)
 
 ``production`` and ``sweep`` accept ``--trace out.json``: everything the
 run did is collected into one
@@ -286,6 +287,27 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    from .network.validation import validation_report
+
+    n_nodes = max(1, args.gpus // args.gpus_per_node) if args.nodes is None else args.nodes
+    report = validation_report(
+        n_nodes=n_nodes,
+        nodes_per_pod=args.nodes_per_pod,
+        group_size=args.group_size,
+        seed=args.seed,
+        trials=args.trials,
+    )
+    print(report.describe())
+    if report.alpha_beta_max_rel_error >= args.max_rel_error:
+        print(
+            f"FAIL: alpha-beta max rel error {report.alpha_beta_max_rel_error:.2e} "
+            f">= {args.max_rel_error:.2e}"
+        )
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -337,6 +359,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=72,
                    help="ASCII rendering width (default 72)")
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "validate",
+        help="fabric-vs-analytic agreement report (alpha-beta degeneration, "
+             "placement deltas, port-split benefit)",
+    )
+    p.add_argument("--gpus", type=int, default=12288,
+                   help="cluster size; nodes = gpus / gpus-per-node (default 12288, "
+                        "the paper's scale)")
+    p.add_argument("--gpus-per-node", type=int, default=8)
+    p.add_argument("--nodes", type=int, default=None,
+                   help="node count, overriding --gpus/--gpus-per-node")
+    p.add_argument("--nodes-per-pod", type=int, default=64)
+    p.add_argument("--group-size", type=int, default=8,
+                   help="ring size priced under each placement")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trials", type=int, default=200,
+                   help="Monte-Carlo trials for the ECMP conflict model")
+    p.add_argument("--max-rel-error", type=float, default=1e-9,
+                   help="fail (exit 1) if the same-ToR fabric price deviates "
+                        "from the alpha-beta closed form by this much or more")
+    p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("tune", help="auto-tune 3D parallelism (exact bound-and-prune search)")
     _add_job_args(p)

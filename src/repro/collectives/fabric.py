@@ -43,6 +43,7 @@ __all__ = [
     "RING_SOFTWARE_LATENCY",
     "RoutedStepCost",
     "fabric_collective_cost",
+    "price_routed_step",
     "routed_step_cost",
     "validate_backend",
 ]
@@ -91,13 +92,20 @@ DEFAULT_PFC_PENALTY = PfcPenaltyModel()
 
 @dataclass(frozen=True)
 class RoutedStepCost:
-    """Routing outcome of one ring step (all pair transfers concurrent)."""
+    """Routing outcome of one ring step (all pair transfers concurrent).
+
+    ``utilization`` and ``oversubscription`` are derived from the
+    *effective* rates actually charged to the transfers — after
+    congestion-control efficiency and PFC pause derating — so the
+    ``network``-lane gauges report realized link load, not the
+    pre-derate fair-share allocation.
+    """
 
     duration: float  # slowest flow's completion time
     n_flows: int  # inter-node flows (same-host pairs are skipped)
     max_link_load: int  # flows sharing the most-loaded link
-    utilization: float  # allocated-rate utilization of that bottleneck
-    oversubscription: float  # worst offered-load / capacity ratio (0 if unbounded demand)
+    utilization: float  # worst link's effective-rate utilization
+    oversubscription: float  # worst effective offered-load / capacity (0 if unbounded demand)
     paused_flows: int  # flows paying a PFC penalty
     slowest_flow: int  # index of the flow setting the duration
 
@@ -151,38 +159,74 @@ def routed_step_cost(
     if not flows:
         return RoutedStepCost(software_latency, 0, 0, 0.0, 0.0, 0, 0)
     max_min_fair_rates(flows)
+    return price_routed_step(
+        flows,
+        segment_bytes,
+        demand=demand,
+        software_latency=software_latency,
+        cc_efficiency=cc_efficiency,
+        penalty=penalty,
+    )
+
+
+def price_routed_step(
+    flows: Sequence[Flow],
+    segment_bytes: float,
+    demand: Optional[float] = None,
+    software_latency: float = RING_SOFTWARE_LATENCY,
+    cc_efficiency: float = 1.0,
+    penalty: Optional[PfcPenaltyModel] = None,
+) -> RoutedStepCost:
+    """Step cost of already-solved flows (rates assigned, paths non-empty).
+
+    Split out of :func:`routed_step_cost` so callers that keep a live
+    :class:`~repro.network.flow.IncrementalMaxMinSolver` (the event
+    runtime, which reuses one allocation across identical ring steps)
+    can price steps without re-solving max-min sharing each time.
+    """
+    if not flows:
+        return RoutedStepCost(software_latency, 0, 0, 0.0, 0.0, 0, 0)
 
     load: Dict[Link, int] = {}
-    allocated: Dict[Link, float] = {}
     for flow in flows:
         for link in flow.path:
             load[link] = load.get(link, 0) + 1
-            allocated[link] = allocated.get(link, 0.0) + flow.rate
     max_link_load = max(load.values())
-    utilization = max(min(1.0, allocated[l] / l.bandwidth) for l in load)
 
-    duration, slowest, paused, worst_ratio = 0.0, 0, 0, 0.0
+    # PFC pauses trigger on the *offered* wire load (what the NICs try
+    # to push); the realized per-flow goodput then derates by both the
+    # congestion-control efficiency and the pause fraction.
+    duration, slowest, paused = 0.0, 0, 0
+    effective: Dict[Link, float] = {}
+    offered: Dict[Link, float] = {}
     for flow in flows:
         ratio = 0.0
         if demand is not None:
             ratio = max(load[l] * demand / l.bandwidth for l in flow.path)
-        worst_ratio = max(worst_ratio, ratio)
         pause = penalty.pause_fraction(ratio) if penalty is not None else 0.0
         if pause > 0.0:
             paused += 1
         rate = flow.rate * cc_efficiency * (1.0 - pause)
+        for link in flow.path:
+            effective[link] = effective.get(link, 0.0) + rate
+            if demand is not None:
+                offered[link] = offered.get(link, 0.0) + demand * cc_efficiency * (1.0 - pause)
         latency = sum(l.latency for l in flow.path) + software_latency
         if pause > 0.0 and penalty is not None:
             latency += penalty.retransmit_latency
         t = (segment_bytes / rate if segment_bytes > 0 else 0.0) + latency
         if t > duration:
             duration, slowest = t, flow.flow_id
+    utilization = max(min(1.0, effective[l] / l.bandwidth) for l in load)
+    oversubscription = max(
+        (value / link.bandwidth for link, value in offered.items()), default=0.0
+    )
     return RoutedStepCost(
         duration=duration,
         n_flows=len(flows),
         max_link_load=max_link_load,
         utilization=utilization,
-        oversubscription=worst_ratio,
+        oversubscription=oversubscription,
         paused_flows=paused,
         slowest_flow=slowest,
     )
@@ -341,21 +385,30 @@ def fabric_collective_cost(
     Keyed by every pricing parameter plus
     :meth:`~repro.network.topology.ClosFabric.fingerprint`, so two
     identically-configured healthy fabrics share entries while a
-    degraded or re-built fabric never reuses them.  ``hub`` is not part
-    of the key, and telemetry is emitted only when the price is computed
+    degraded or re-built fabric never reuses them.  On a healthy fabric
+    the node group is first canonicalized
+    (:meth:`~repro.network.topology.ClosFabric.canonical_node_offsets`):
+    groups that differ only by a within-pod offset route link-for-link
+    isomorphic paths, so all DP rings with the same placement shape
+    share one memo entry and one routed price.  ``hub`` is not part of
+    the key, and telemetry is emitted only when the price is computed
     fresh — a memo hit is not a new routed collective.
     """
     cache = get_cache("fabric_collective_cost")
+    fingerprint = fabric.fingerprint()
+    nodes = tuple(nodes)
+    if nodes and not fabric.degraded():
+        nodes = fabric.canonical_node_offsets(nodes)
     key = (
         kind,
         float(size),
-        tuple(nodes),
+        nodes,
         rail,
         cc_efficiency,
         software_latency,
         penalty,
         nic_rate,
-        fabric.fingerprint(),
+        fingerprint,
     )
     if key in cache.store:
         cache.hits += 1
@@ -369,6 +422,6 @@ def fabric_collective_cost(
         penalty=penalty,
         nic_rate=nic_rate,
     )
-    result = model.collective_cost(kind, size, tuple(nodes), hub=hub)
+    result = model.collective_cost(kind, size, nodes, hub=hub)
     cache.put(key, result)
     return result

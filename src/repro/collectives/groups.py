@@ -19,7 +19,7 @@ from typing import List, Optional
 
 from ..exec.memo import memoized
 from ..hardware.node import NodeSpec
-from ..network.topology import ClosFabric
+from ..network.topology import ClosFabric, shared_fabric
 from ..parallel.placement import Placement
 from ..parallel.plan import ParallelPlan
 from .fabric import FabricCostModel, fabric_collective_cost
@@ -168,10 +168,16 @@ def build_comm_model(
     cc_efficiency: float = DEFAULT_CC_EFFICIENCY,
     backend: str = "analytic",
 ) -> GroupCommModel:
-    """Convenience constructor: build a right-sized fabric for the plan."""
+    """Convenience constructor: build a right-sized fabric for the plan.
+
+    Fabrics are interned via :func:`~repro.network.topology.shared_fabric`,
+    so plan-search loops that price hundreds of candidates on the same
+    cluster shape reuse one fabric (and its warm cost memo) instead of
+    rebuilding tens of thousands of links per candidate.
+    """
     node_spec = node_spec or NodeSpec()
     n_nodes = -(-plan.world_size // node_spec.gpus_per_node)
-    fabric = ClosFabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
+    fabric = shared_fabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
     return GroupCommModel(
         plan=plan,
         fabric=fabric,

@@ -14,11 +14,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..network.flow import Flow, max_min_fair_rates
+from ..network.flow import Flow, IncrementalMaxMinSolver, max_min_fair_rates
 from ..network.link import Link
 from ..network.topology import ClosFabric
 from ..sim import Process, Simulator
-from .fabric import PfcPenaltyModel, routed_step_cost
+from .fabric import PfcPenaltyModel, price_routed_step
 
 
 @dataclass
@@ -90,23 +90,14 @@ class RingCollectiveRuntime:
                 paths.append(self.fabric.path(src, dst, rail=self.rail, flow_id=i))
         return paths
 
-    def _step_duration(self, paths: List[List[Link]], segment_bytes: float) -> RingStepResult:
-        cost = routed_step_cost(
-            paths,
-            segment_bytes,
-            demand=self.flow_demand,
-            software_latency=self.software_latency,
-            cc_efficiency=self.cc_efficiency,
-            penalty=self.penalty,
-        )
-        return RingStepResult(
-            step=0,
-            duration=cost.duration,
-            slowest_pair=cost.slowest_flow,
-            max_link_load=cost.max_link_load,
-            utilization=cost.utilization,
-            paused_flows=cost.paused_flows,
-        )
+    def _step_flows(self) -> List[Flow]:
+        """Inter-node flows of one ring step (same-host pairs skipped)."""
+        per_flow_demand = float("inf") if self.flow_demand is None else self.flow_demand
+        return [
+            Flow(flow_id=i, path=path, demand=per_flow_demand)
+            for i, path in enumerate(self._step_paths())
+            if path
+        ]
 
     def run(
         self,
@@ -141,25 +132,37 @@ class RingCollectiveRuntime:
 
         sim = sim or Simulator()
         start = sim.now
-        paths = self._step_paths()
+        # One flow set serves every step: the solver caches the max-min
+        # allocation across the ring's identical steps and re-solves only
+        # if a link flaps mid-collective (link watchers invalidate it).
+        flows = self._step_flows()
+        solver = IncrementalMaxMinSolver(flows)
         segment = size / n
         steps: List[RingStepResult] = []
         done = {"t": 0.0}
 
         def driver():
             for step in range(n_steps):
-                result = self._step_duration(paths, segment)
+                solver.solve()
+                cost = price_routed_step(
+                    flows,
+                    segment,
+                    demand=self.flow_demand,
+                    software_latency=self.software_latency,
+                    cc_efficiency=self.cc_efficiency,
+                    penalty=self.penalty,
+                )
                 steps.append(
                     RingStepResult(
                         step,
-                        result.duration,
-                        result.slowest_pair,
-                        result.max_link_load,
-                        result.utilization,
-                        result.paused_flows,
+                        cost.duration,
+                        cost.slowest_flow,
+                        cost.max_link_load,
+                        cost.utilization,
+                        cost.paused_flows,
                     )
                 )
-                yield sim.timeout(result.duration)
+                yield sim.timeout(cost.duration)
             done["t"] = sim.now
 
         Process(sim, driver(), name=f"{kind}-ring")

@@ -56,6 +56,10 @@ class MemoCache:
 
     def get(self, key: Any) -> Any:
         """The cached value (refreshing recency); KeyError on a miss."""
+        if self.maxsize is None:
+            # Unbounded caches never evict, so recency is meaningless —
+            # skip the pop/re-insert churn on the hot lookup path.
+            return self.store[key]
         value = self.store.pop(key)  # KeyError propagates on miss
         self.store[key] = value  # re-insert: most recently used
         return value

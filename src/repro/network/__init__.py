@@ -10,12 +10,19 @@ from .congestion import (
 )
 from .ecmp import ConflictStats, conflict_stats, expected_conflict_stats, port_split_benefit
 from .flapping import FlapEvent, LinkFlapper, flap_downtime_in_window, flap_statistics
-from .flow import Flow, TrafficMatrix, max_min_fair_rates, transfer_time
+from .flow import (
+    Flow,
+    IncrementalMaxMinSolver,
+    TrafficMatrix,
+    max_min_fair_rates,
+    max_min_fair_rates_reference,
+    transfer_time,
+)
 from .link import DuplexLink, Link
 from .pfc import PfcState
 from .routing import ecmp_choice, hash_flows_onto_uplinks, max_uplink_load
 from .switch import TOMAHAWK4, Switch, SwitchSpec, agg_role, spine_role, tor_role
-from .topology import ClosFabric
+from .topology import ClosFabric, shared_fabric
 from .transfers import Transfer, TransferEngine, execute_transfers
 from .transport import (
     ADAPTIVE_NIC,
@@ -38,6 +45,7 @@ __all__ = [
     "DuplexLink",
     "FlapEvent",
     "Flow",
+    "IncrementalMaxMinSolver",
     "Link",
     "LinkFlapper",
     "MegaScaleControl",
@@ -62,8 +70,10 @@ __all__ = [
     "flap_statistics",
     "hash_flows_onto_uplinks",
     "max_min_fair_rates",
+    "max_min_fair_rates_reference",
     "max_uplink_load",
     "port_split_benefit",
+    "shared_fabric",
     "simulate_bottleneck",
     "spine_role",
     "tor_role",

@@ -3,12 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Any, Callable, Dict, Tuple
 
 
 @dataclass(eq=False)  # identity equality/hash: links are used as dict keys
 class Link:
-    """A unidirectional link between two devices in the fabric."""
+    """A unidirectional link between two devices in the fabric.
+
+    Up/down transitions — whether through :meth:`set_state` or a direct
+    ``link.up = False`` — notify any callbacks registered with
+    :meth:`watch`, so fabrics and solvers can invalidate cached
+    fingerprints/allocations without rescanning every link.
+    """
 
     src: str
     dst: str
@@ -24,6 +30,30 @@ class Link:
             raise ValueError(f"link {self.name} must have positive bandwidth")
         if self.latency < 0:
             raise ValueError(f"link {self.name} has negative latency")
+
+    def watch(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired on every ``up`` transition.
+
+        Callbacks should hold only weak references to heavyweight
+        owners (see :meth:`repro.network.topology.ClosFabric`); they
+        are not pickled with the link.
+        """
+        self.__dict__.setdefault("_watchers", []).append(callback)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name == "up":
+            old = self.__dict__.get("up")
+            object.__setattr__(self, name, value)
+            if old is not None and old != value:
+                for callback in self.__dict__.get("_watchers", ()):
+                    callback()
+            return
+        object.__setattr__(self, name, value)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_watchers", None)  # callbacks don't survive pickling
+        return state
 
     @property
     def name(self) -> str:

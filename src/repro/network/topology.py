@@ -18,8 +18,9 @@ rings do) stays on one rail: two hops inside a pod, six hops across pods.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .link import Link
 from .routing import ecmp_choice
@@ -56,6 +57,36 @@ class ClosFabric:
         if self.nic_rate == 0.0:
             self.nic_rate = self._tor.downlink_rate
         self._build()
+        self._fingerprint_cache: Optional[Tuple] = None
+        self._watch_links()
+
+    def _watch_links(self) -> None:
+        """Invalidate the cached fingerprint on any link up/down flip.
+
+        The callback holds only a weak reference to the fabric, so
+        watching its own links creates no reference cycle and never
+        keeps a dead fabric alive through its links.
+        """
+        ref = weakref.ref(self)
+
+        def invalidate() -> None:
+            fabric = ref()
+            if fabric is not None:
+                fabric._fingerprint_cache = None
+
+        for links in self.parallel_links.values():
+            for link in links:
+                link.watch(invalidate)
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = self.__dict__.copy()
+        state.pop("_fingerprint_cache", None)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._fingerprint_cache = None
+        self._watch_links()  # link watchers don't survive pickling
 
     # -- construction -----------------------------------------------------
 
@@ -128,7 +159,43 @@ class ClosFabric:
         every link, so prices cached against one fabric are reused by
         any identically-configured healthy fabric but never survive a
         degraded (or differently-built) one.
+
+        The value is cached — the O(links) scan would otherwise run on
+        every memo lookup — and invalidated by link up/down transitions
+        (including direct ``link.up`` writes), so a flapped link still
+        busts downstream caches.
         """
+        if self._fingerprint_cache is None:
+            self._fingerprint_cache = self._compute_fingerprint()
+        return self._fingerprint_cache
+
+    def degraded(self) -> bool:
+        """Whether any link is currently down (placement symmetry broken)."""
+        return bool(self.fingerprint()[-1])
+
+    def canonical_node_offsets(self, nodes: Sequence[int]) -> Tuple[int, ...]:
+        """Translate a node group down to its canonical within-pod offset.
+
+        Servers of one pod are interchangeable: each has identical NIC
+        links to the same ToR set, and every ECMP decision depends only
+        on switch names and the flow index.  Sliding a whole group by a
+        common offset *within its pods* therefore yields link-for-link
+        isomorphic paths with identical bandwidths, latencies, and
+        conflict patterns — so all DP rings with the same placement
+        shape can share one routed price.  The canonical form subtracts
+        the group's minimum within-pod offset, which by construction
+        keeps every node in its original pod.
+
+        Only valid on a healthy fabric: a down link singles out specific
+        servers and breaks the symmetry.  Callers must check
+        :meth:`degraded` first.
+        """
+        offset = min(n % self.nodes_per_pod for n in nodes)
+        if offset == 0:
+            return tuple(nodes)
+        return tuple(n - offset for n in nodes)
+
+    def _compute_fingerprint(self) -> Tuple:
         down = tuple(
             sorted(
                 f"{src}->{dst}#{i}"
@@ -220,3 +287,62 @@ class ClosFabric:
             if src.startswith("agg") and dst.startswith("spine"):
                 total += sum(l.bandwidth for l in links)
         return total
+
+
+def shared_fabric(
+    n_nodes: int,
+    nodes_per_pod: int = 64,
+    rails: int = 8,
+    aggs_per_pod: int = 8,
+    n_spines: int = 8,
+    tor_uplinks_per_agg: int = 4,
+    agg_uplinks_per_spine: int = 4,
+    split_tor_downlinks: bool = True,
+    nic_rate: float = 0.0,
+) -> ClosFabric:
+    """A process-shared :class:`ClosFabric` for the given configuration.
+
+    Building a paper-scale fabric is O(links) — ~50k link objects at
+    1,536 nodes — which dominated plan search when every candidate's
+    comm model rebuilt its own copy.  Identically-configured fabrics
+    are immutable for pricing purposes, so read-only consumers
+    (``build_comm_model``, ``validation_report``) share one instance
+    per configuration, interned in the ``"clos_fabric"`` memo cache
+    (hit/miss counters surface in sweep stats; LRU-bounded so scale
+    sweeps don't pin every size in memory).
+
+    Callers that intend to *degrade* links must build a private
+    ``ClosFabric`` instead — flapping a shared instance would leak the
+    fault into every other consumer.
+    """
+    from ..exec.memo import get_cache
+
+    cache = get_cache("clos_fabric", maxsize=8)
+    key = (
+        n_nodes,
+        nodes_per_pod,
+        rails,
+        aggs_per_pod,
+        n_spines,
+        tor_uplinks_per_agg,
+        agg_uplinks_per_spine,
+        split_tor_downlinks,
+        nic_rate,
+    )
+    if key in cache.store:
+        cache.hits += 1
+        return cache.get(key)
+    cache.misses += 1
+    fabric = ClosFabric(
+        n_nodes=n_nodes,
+        nodes_per_pod=nodes_per_pod,
+        rails=rails,
+        aggs_per_pod=aggs_per_pod,
+        n_spines=n_spines,
+        tor_uplinks_per_agg=tor_uplinks_per_agg,
+        agg_uplinks_per_spine=agg_uplinks_per_spine,
+        split_tor_downlinks=split_tor_downlinks,
+        nic_rate=nic_rate,
+    )
+    cache.put(key, fabric)
+    return fabric

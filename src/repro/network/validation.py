@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from .ecmp import port_split_benefit
-from .topology import ClosFabric
+from .topology import ClosFabric, shared_fabric
 
 # 0.90, kept literal here: importing repro.collectives at module scope
 # would close an import cycle (collectives.fabric imports repro.network
@@ -130,7 +130,9 @@ def validation_report(
     }
     if group_size < 2:
         raise ValueError("group_size must be >= 2 (a 1-ring has no communication)")
-    fabric = ClosFabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
+    # Interned: at the paper's 12,288-GPU scale (1,536 nodes, ~49k
+    # links) rebuilding the fabric would dwarf the pricing itself.
+    fabric = shared_fabric(n_nodes=n_nodes, nodes_per_pod=nodes_per_pod)
     if fabric.n_pods < 2:
         raise ValueError("need >= 2 pods for the cross-pod placement")
     same_tor = tuple(range(group_size))

@@ -130,6 +130,32 @@ def test_pfc_penalty_kicks_in_at_three_flows_on_split_uplink():
         assert cost.paused_flows == expect_paused
 
 
+def test_utilization_reports_effective_rates():
+    # A lone flow owning a 10 B/s link at cc_efficiency 0.5 only ever
+    # moves 5 B/s — the reported utilization must say so, not echo the
+    # pre-derate fair-share allocation (which would claim 1.0).
+    from repro.network import Link
+
+    link = Link(src="a", dst="b", bandwidth=10.0, latency=1e-6)
+    cost = routed_step_cost([[link]], 1e3, demand=10.0, cc_efficiency=0.5)
+    assert cost.utilization == pytest.approx(0.5)
+    assert cost.oversubscription == pytest.approx(0.5)
+
+
+def test_oversubscription_reports_derated_offered_load():
+    # demand 30 on a 10 B/s link: the raw 3.0x ratio triggers the PFC
+    # pause (0.1/excess -> 20% paused), and the *reported* gauges then
+    # reflect what is actually pushed and charged after derating.
+    from repro.network import Link
+
+    penalty = PfcPenaltyModel(pause_per_excess=0.1, retransmit_latency=0.0)
+    link = Link(src="a", dst="b", bandwidth=10.0, latency=1e-6)
+    cost = routed_step_cost([[link]], 1e3, demand=30.0, penalty=penalty)
+    assert cost.paused_flows == 1
+    assert cost.oversubscription == pytest.approx(30.0 * 0.8 / 10.0)  # 2.4, not 3.0
+    assert cost.utilization == pytest.approx(10.0 * 0.8 / 10.0)
+
+
 def test_unbounded_demand_never_pays_pfc():
     fabric = _fabric()
     paths = [fabric.path(i, (i + 1) % 8, rail=0, flow_id=i) for i in range(8)]
@@ -222,6 +248,99 @@ def test_fabric_cost_memoized_by_fingerprint():
     twin.parallel_links[("tor0.0", "agg0.0")][0].up = False
     fabric_collective_cost("all_gather", 1e9, nodes, twin)
     assert cache.misses == 2
+
+
+def test_translated_rings_share_one_memo_entry():
+    # Two DP rings with the same placement shape, offset within a pod,
+    # route link-isomorphic paths — they must share one routed price.
+    cache = get_cache("fabric_collective_cost")
+    cache.reset()
+    fabric = _fabric(n_nodes=16, nodes_per_pod=8)
+    base = fabric_collective_cost("all_gather", 1e9, (0, 1, 2, 3), fabric)
+    shifted = fabric_collective_cost("all_gather", 1e9, (4, 5, 6, 7), fabric)
+    assert shifted is base
+    assert cache.misses == 1 and cache.hits == 1
+    # The dedup claims equal prices; verify against an unmemoized model.
+    direct = FabricCostModel(fabric).collective_cost("all_gather", 1e9, (4, 5, 6, 7))
+    assert direct.time == pytest.approx(base.time, rel=1e-12)
+
+
+def test_pod_translation_is_not_deduped():
+    # Pod-to-pod translation is NOT price-preserving (ECMP hashes depend
+    # on switch names), so pod-1 rings key separately from pod-0 rings.
+    cache = get_cache("fabric_collective_cost")
+    cache.reset()
+    fabric = _fabric(n_nodes=16, nodes_per_pod=8)
+    fabric_collective_cost("all_gather", 1e9, (0, 1, 2, 3), fabric)
+    fabric_collective_cost("all_gather", 1e9, (8, 9, 10, 11), fabric)
+    assert cache.misses == 2
+
+
+def test_degraded_fabric_disables_symmetry_dedup():
+    # With a link down, within-pod translation no longer guarantees
+    # isomorphic paths — every placement must price individually.
+    cache = get_cache("fabric_collective_cost")
+    cache.reset()
+    fabric = _fabric(n_nodes=16, nodes_per_pod=8)
+    fabric.parallel_links[("tor0.0", "agg0.0")][0].up = False
+    assert fabric.degraded()
+    fabric_collective_cost("all_gather", 1e9, (0, 1, 2, 3), fabric)
+    fabric_collective_cost("all_gather", 1e9, (4, 5, 6, 7), fabric)
+    assert cache.misses == 2 and cache.hits == 0
+
+
+def test_fingerprint_cached_and_invalidated_by_flap():
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    clean = fabric.fingerprint()
+    assert fabric.fingerprint() is clean  # cached tuple, no rescan
+    link = fabric.parallel_links[("tor0.0", "agg0.0")][0]
+    link.set_state(False)
+    degraded = fabric.fingerprint()
+    assert degraded != clean
+    link.up = True  # direct attribute write must also invalidate
+    assert fabric.fingerprint() == clean
+
+
+def test_fingerprint_invalidation_survives_pickle():
+    import pickle
+
+    fabric = _fabric(n_nodes=8, nodes_per_pod=8)
+    clean = fabric.fingerprint()
+    clone = pickle.loads(pickle.dumps(fabric))
+    assert clone.fingerprint() == clean
+    clone.parallel_links[("tor0.0", "agg0.0")][0].up = False
+    assert clone.fingerprint() != clean  # watchers re-registered on load
+    assert fabric.fingerprint() == clean  # the original is untouched
+
+
+def test_flapper_driven_outage_busts_the_memo():
+    # End-to-end: a LinkFlapper outage on a fabric link must flow
+    # through the cached fingerprint into a fresh memo entry, and the
+    # healthy entry must come back once the flap ends.
+    import numpy as np
+
+    from repro.network import DuplexLink, LinkFlapper
+    from repro.sim import Simulator
+
+    cache = get_cache("fabric_collective_cost")
+    cache.reset()
+    fabric = _fabric(n_nodes=16, nodes_per_pod=8)
+    nodes = (0, 1, 2, 3)
+    fabric_collective_cost("all_gather", 1e9, nodes, fabric)
+    duplex = DuplexLink(fabric.parallel_links[("tor0.0", "agg0.0")][0])
+    sim = Simulator()
+    flapper = LinkFlapper(
+        sim, duplex, mean_interval=1.0, mean_down_time=5.0,
+        rng=np.random.default_rng(0),
+    )
+    flapper.start()
+    sim.run(until=2.0)  # long flap: the link is down right now
+    assert not duplex.forward.up
+    fabric_collective_cost("all_gather", 1e9, nodes, fabric)
+    assert cache.misses == 2
+    flapper.stop()  # restores the link
+    fabric_collective_cost("all_gather", 1e9, nodes, fabric)
+    assert cache.hits == 1  # healthy fingerprint (and entry) restored
 
 
 def test_fabric_memo_telemetry_only_on_fresh_compute():
