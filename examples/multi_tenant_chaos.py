@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Multi-tenant chaos: two jobs, one shared cluster, one spare.
+
+Runs the same seeded correlated-fault timeline under both arbitration
+policies and prints what each tenant lived through — who won the last
+spare when a rack-PSU incident injured both jobs at once, who was
+preempted, who shrank, and what it all cost in cluster-wide goodput.
+
+    python examples/multi_tenant_chaos.py [seed] [days]
+"""
+
+import sys
+from collections import Counter
+
+from repro.scheduler import run_policy
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    days = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+
+    print(f"=== multi-tenant chaos: seed {seed}, {days:g} days ===\n")
+    reports = {}
+    for policy in ("priority", "fifo"):
+        report, scheduler = run_policy(seed, policy, days=days)
+        reports[policy] = report
+        print(report.describe())
+        actions = Counter(d.action for d in report.decisions)
+        print("decisions:", ", ".join(f"{k}×{v}" for k, v in sorted(actions.items())))
+        assert scheduler.pool.consistent(), "spare ledger must balance"
+        print()
+
+    arbitrated = reports["priority"].mean_goodput
+    naive = reports["fifo"].mean_goodput
+    print(f"arbitrating scheduler : {arbitrated:.3f} goodput")
+    print(f"naive FIFO baseline   : {naive:.3f} goodput")
+    print(f"improvement           : {arbitrated / naive - 1:+.1%}")
+
+    # The arbitration history of the decisive incidents: every time the
+    # pool could not cover a claim batch, and what the loser did next.
+    print("\ncontended incidents (priority policy):")
+    for decision in reports["priority"].decisions:
+        if decision.action in ("deny", "preempt", "shrink", "stall"):
+            detail = ", ".join(f"{k}={v}" for k, v in decision.detail)
+            print(f"  t={decision.time / 3600:7.2f}h {decision.action:<8s}"
+                  f" {decision.job:<10s} {detail}")
+
+
+if __name__ == "__main__":
+    main()

@@ -216,6 +216,24 @@ def cmd_production(args) -> int:
     return 0
 
 
+def cmd_schedule(args) -> int:
+    from .scheduler import run_policy
+
+    hub = _make_hub(args, "schedule")
+    report, scheduler = run_policy(args.seed, args.policy, days=args.days, hub=hub)
+    print(report.describe())
+    if args.compare:
+        other = "fifo" if args.policy == "priority" else "priority"
+        baseline, _ = run_policy(args.seed, other, days=args.days)
+        delta = report.mean_goodput - baseline.mean_goodput
+        print(
+            f"vs {other:<8s}        : {baseline.mean_goodput:.3f} goodput "
+            f"({delta:+.3f} for {args.policy})"
+        )
+    _save_hub(hub, args)
+    return 0
+
+
 def cmd_trace(args) -> int:
     from .observability.export import (
         lane_recorder,
@@ -352,6 +370,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "collectives, network, fault, monitors) into one "
                         "Perfetto-loadable trace + .metrics.jsonl sidecar")
     p.set_defaults(func=cmd_production)
+
+    p = sub.add_parser(
+        "schedule",
+        help="multi-job scheduler under multi-tenant chaos (spare arbitration, "
+             "preemption, DP-shrink degradation)",
+    )
+    p.add_argument("--policy", choices=["priority", "fifo"], default="priority",
+                   help="spare arbitration policy: priority-weighted with "
+                        "preemption/shrink (default) or the naive FIFO-stall "
+                        "baseline")
+    p.add_argument("--days", type=float, default=3.0,
+                   help="simulated horizon in days (default 3)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--compare", action="store_true",
+                   help="also run the opposite policy on the same seed and "
+                        "print the goodput delta")
+    p.add_argument("--trace", metavar="PATH",
+                   help="emit scheduler decisions + goodput gauge on the "
+                        "'scheduler' telemetry lane as a unified trace")
+    p.set_defaults(func=cmd_schedule)
 
     p = sub.add_parser("trace", help="inspect/render a saved telemetry trace")
     p.add_argument("path", help="trace JSON written by --trace")

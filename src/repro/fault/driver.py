@@ -30,7 +30,7 @@ import numpy as np
 
 from ..collectives.init import group_init_time
 from ..collectives.kvstore import REDIS_STORE
-from ..hardware.cluster import Cluster
+from ..hardware.cluster import Cluster, NoSpareAvailable
 from ..network.flapping import FlapEvent
 from ..observability.monitors import MillisecondMonitor, SecondLevelMonitor
 from ..parallel.plan import ParallelPlan
@@ -129,8 +129,10 @@ class RobustTrainingDriver:
             executor.stop()
             try:
                 replacement = self.kubernetes.block_and_replace(node.node_id)
-            except LookupError:
+            except NoSpareAvailable:
                 # Spare pool exhausted: degraded mode — shed the node.
+                # (UnknownNode would mean a stale reference — a bug — and
+                # deliberately propagates instead of being absorbed here.)
                 self.kubernetes.block_and_drop(node.node_id)
                 del self.histories[node.node_id]
                 self.executors.remove(executor)

@@ -1,6 +1,6 @@
 """Hardware models: GPUs, NICs, hosts, and the cluster node pool."""
 
-from .cluster import Cluster
+from .cluster import Cluster, NoSpareAvailable, UnknownNode
 from .gpu import AMPERE, GPU_CATALOG, HOPPER, Gpu, GpuSpec, scaled_spec
 from .nic import CX6_200G, CX6_200G_ADAP, Nic, NicSpec
 from .node import Node, NodeSpec, build_nodes
@@ -16,8 +16,10 @@ __all__ = [
     "HOPPER",
     "Nic",
     "NicSpec",
+    "NoSpareAvailable",
     "Node",
     "NodeSpec",
+    "UnknownNode",
     "build_nodes",
     "scaled_spec",
 ]

@@ -13,6 +13,24 @@ from typing import Dict, Iterator, List, Optional
 from .node import Node, NodeSpec, build_nodes
 
 
+class UnknownNode(LookupError):
+    """The node id does not name an *active* cluster node.
+
+    Raised for ids that were never part of the cluster and for nodes
+    already evicted or removed — either way the caller holds a stale or
+    bogus reference, which is a programming error, not a capacity issue.
+    """
+
+
+class NoSpareAvailable(LookupError):
+    """The spare pool is empty — replacement is a capacity decision.
+
+    Distinct from :class:`UnknownNode` so callers (the robust driver,
+    the multi-job scheduler's spare broker) can arbitrate / retry /
+    shrink on exhaustion while still letting genuine bugs propagate.
+    """
+
+
 @dataclass
 class Cluster:
     """A set of active nodes plus a standby pool for replacements."""
@@ -55,13 +73,31 @@ class Cluster:
         return len(self.spares)
 
     def node(self, node_id: int) -> Node:
-        return self._by_id[node_id]
+        """Resolve an *active or standby* node by id.
+
+        Evicted/removed nodes are no longer resolvable: their entries are
+        purged from the index, so a stale id raises :class:`UnknownNode`
+        instead of silently returning a dead host.
+        """
+        found = self._by_id.get(node_id)
+        if found is None:
+            raise UnknownNode(f"node {node_id} is not part of the cluster")
+        return found
 
     def node_of_rank(self, rank: int) -> Node:
-        """Map a global GPU rank to its host (ranks are packed per node)."""
+        """Map a global GPU rank to its host (ranks are packed per node).
+
+        Ranks are packed over the *current* active list: after a
+        ``remove`` shrinks the cluster, ranks re-pack onto the survivors
+        (exactly what an elastic DP-shrink does).  Ranks issued against
+        the pre-shrink cluster are stale and must be re-derived — out of
+        range ones raise rather than silently aliasing another host.
+        """
+        if not self.nodes:
+            raise IndexError(f"rank {rank} outside an empty cluster")
         gpus_per_node = self.nodes[0].n_gpus
         index = rank // gpus_per_node
-        if not 0 <= index < len(self.nodes):
+        if rank < 0 or not 0 <= index < len(self.nodes):
             raise IndexError(f"rank {rank} outside cluster of {self.n_gpus} GPUs")
         return self.nodes[index]
 
@@ -73,18 +109,18 @@ class Cluster:
         """Remove a faulty node from the active set (Kubernetes eviction).
 
         Returns the replacement drawn from the spare pool.  Raises
-        ``LookupError`` if no spare is available — the paper's driver
-        would then page an operator.
+        :class:`UnknownNode` for an id that is not an active node and
+        :class:`NoSpareAvailable` on pool exhaustion — the latter is the
+        signal to arbitrate, retry, or shrink rather than a bug.
         """
-        target = self._by_id.get(node_id)
-        if target is None or target not in self.nodes:
-            raise LookupError(f"node {node_id} is not active")
+        target = self._active(node_id)
         if not self.spares:
-            raise LookupError("no spare nodes available for replacement")
+            raise NoSpareAvailable("no spare nodes available for replacement")
         replacement = self.spares.pop(0)
         position = self.nodes.index(target)
         self.nodes[position] = replacement
         target.evicted = True
+        del self._by_id[node_id]
         return replacement
 
     def remove(self, node_id: int) -> Node:
@@ -93,11 +129,42 @@ class Cluster:
         Used when the spare pool is exhausted and the job elects to keep
         training at a smaller data-parallel degree instead of stalling.
         """
-        target = self._by_id.get(node_id)
-        if target is None or target not in self.nodes:
-            raise LookupError(f"node {node_id} is not active")
+        target = self._active(node_id)
         self.nodes.remove(target)
         target.evicted = True
+        del self._by_id[node_id]
+        return target
+
+    def draw_spare(self) -> Node:
+        """Detach one healthy standby node from the pool (no eviction).
+
+        The multi-job spare broker hands these out during arbitration;
+        raises :class:`NoSpareAvailable` when the pool is empty.
+        """
+        if not self.spares:
+            raise NoSpareAvailable("spare pool is exhausted")
+        drawn = self.spares.pop(0)
+        del self._by_id[drawn.node_id]
+        return drawn
+
+    def return_spare(self, node: Node) -> None:
+        """Put a healthy node back into the standby pool.
+
+        Preempting a job frees its (healthy) hosts; they rejoin the pool
+        so losing jobs' retries can claim them.
+        """
+        if not node.healthy or node.evicted:
+            raise ValueError(f"node {node.node_id} is not healthy standby material")
+        if node in self.nodes:
+            raise ValueError(f"node {node.node_id} is still active")
+        if node not in self.spares:
+            self.spares.append(node)
+            self._by_id[node.node_id] = node
+
+    def _active(self, node_id: int) -> Node:
+        target = self._by_id.get(node_id)
+        if target is None or target not in self.nodes:
+            raise UnknownNode(f"node {node_id} is not active")
         return target
 
     def faulty_nodes(self) -> List[Node]:

@@ -39,6 +39,7 @@ SUBSYSTEM_LANES: Dict[str, int] = {
     "fault": 4,
     "exec": 5,
     "monitor": 6,
+    "scheduler": 7,
 }
 
 LabelItems = Tuple[Tuple[str, Any], ...]

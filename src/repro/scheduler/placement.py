@@ -1,0 +1,176 @@
+"""Topology-aware placement of concurrent jobs onto one shared cluster.
+
+Placement works at the level of *node indices* in the shared
+:class:`~repro.fault.domains.DomainTopology` (the same index space the
+correlated fault injector samples blast radii from).  The placer packs a
+job onto the candidate window spanning the fewest pods, then the fewest
+racks, then the lowest index — minimizing the cross-pod ECMP traffic the
+fabric would price against it.  Multiple tenants can still end up
+sharing a rack or a pod (the cluster is a shared service, and half-full
+racks get packed); that sharing is exactly what makes a rack-PSU fault a
+*multi-job* robustness event and what the cross-job contention factor
+below prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from ..exec.memo import memoized
+from ..fault.domains import DomainTopology
+
+
+class PlacementError(RuntimeError):
+    """Not enough free healthy capacity to place the job."""
+
+
+@memoized("sched_pod_conflict")
+def _pod_flow_throughput(n_flows: int, uplinks: int, trials: int = 50) -> float:
+    """Mean per-flow throughput for ``n_flows`` rails sharing one ToR's
+    split-port uplinks (Monte-Carlo ECMP conflict model, seeded)."""
+    from ..network.ecmp import expected_conflict_stats
+
+    if n_flows < 1:
+        return 1.0
+    stats = expected_conflict_stats(
+        n_flows=n_flows, n_uplinks=uplinks, uplink_to_flow_rate=2.0, trials=trials
+    )
+    return stats.mean_flow_throughput
+
+
+@dataclass
+class PlacementMap:
+    """Who owns which node index, and which indices are dead."""
+
+    topology: DomainTopology
+    owner: Dict[int, str] = field(default_factory=dict)
+    dead: Set[int] = field(default_factory=set)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.topology.n_nodes
+
+    def free_indices(self) -> List[int]:
+        """Healthy, unassigned indices in ascending order."""
+        return [
+            i for i in range(self.n_nodes) if i not in self.owner and i not in self.dead
+        ]
+
+    def nodes_of(self, job: str) -> List[int]:
+        """The job's *alive* indices, ascending."""
+        return sorted(
+            i for i, name in self.owner.items() if name == job and i not in self.dead
+        )
+
+    def place(self, job: str, n_nodes: int) -> List[int]:
+        """Assign ``n_nodes`` free indices, minimizing the domain footprint.
+
+        Every window of ``n_nodes`` consecutive *free* indices is scored
+        by (pods spanned, racks spanned, first index); the best window
+        wins.  Deterministic, and topology-aware without being
+        exclusive: leftover half-racks are packed, so tenants can share
+        failure domains — the multi-tenant reality the scheduler must
+        survive.
+        """
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        free = self.free_indices()
+        if len(free) < n_nodes:
+            raise PlacementError(
+                f"job {job!r} needs {n_nodes} nodes; only {len(free)} free"
+            )
+        best: List[int] = []
+        best_score = None
+        for offset in range(len(free) - n_nodes + 1):
+            window = free[offset : offset + n_nodes]
+            pods = len({self.topology.pod_of(i) for i in window})
+            racks = len({self.topology.rack_of(i) for i in window})
+            score = (pods, racks, window[0])
+            if best_score is None or score < best_score:
+                best_score = score
+                best = window
+        self.assign(job, best)
+        return best
+
+    def assign(self, job: str, indices: Sequence[int]) -> None:
+        for index in indices:
+            if index in self.owner:
+                raise PlacementError(
+                    f"node {index} already owned by {self.owner[index]!r}"
+                )
+            if index in self.dead:
+                raise PlacementError(f"node {index} is dead")
+            self.owner[index] = job
+
+    def release(self, job: str, indices: Sequence[int]) -> None:
+        """Give healthy indices back to the free pool (shrink/preempt)."""
+        for index in indices:
+            if self.owner.get(index) != job:
+                raise PlacementError(f"node {index} is not owned by {job!r}")
+            del self.owner[index]
+
+    def kill(self, index: int) -> None:
+        """Mark a host dead in place; it keeps its index (and its owner's
+        slot) until a replacement revives it."""
+        self.dead.add(index)
+
+    def revive(self, index: int) -> None:
+        """A replacement host took over this index."""
+        self.dead.discard(index)
+
+    def drop_dead(self, job: str, indices: Sequence[int]) -> None:
+        """Unassign dead indices a shrinking job abandons (no replacement
+        coming).  They stay dead until provisioning revives them."""
+        for index in indices:
+            if self.owner.get(index) != job:
+                raise PlacementError(f"node {index} is not owned by {job!r}")
+            if index not in self.dead:
+                raise PlacementError(f"node {index} is not dead")
+            del self.owner[index]
+
+    def jobs_hit(self, indices: Sequence[int]) -> Dict[str, List[int]]:
+        """Map each job to the *alive* owned indices a blast radius hit,
+        jobs in name order, indices ascending — the claim batch order."""
+        hit: Dict[str, List[int]] = {}
+        for index in indices:
+            job = self.owner.get(index)
+            if job is None or index in self.dead:
+                continue
+            hit.setdefault(job, []).append(index)
+        return {job: sorted(hit[job]) for job in sorted(hit)}
+
+    def pods_of(self, job: str) -> List[int]:
+        return sorted({self.topology.pod_of(i) for i in self.nodes_of(job)})
+
+    def pod_load(self, pod: int) -> int:
+        """Alive assigned nodes (any tenant) in the pod — active rails."""
+        return sum(
+            1
+            for i in self.topology.nodes_in_pod(pod)
+            if i in self.owner and i not in self.dead
+        )
+
+    def pod_load_of(self, pod: int, job: str) -> int:
+        return sum(1 for i in self.topology.nodes_in_pod(pod) if self.owner.get(i) == job and i not in self.dead)
+
+    def contention_factor(self, job: str, uplinks: int = 8) -> float:
+        """Cross-job ECMP sharing factor in (0, 1] for ``job``.
+
+        Per pod the job occupies: the ratio of its per-flow throughput
+        with *every* tenant's rails hashing onto the ToR uplinks to its
+        throughput were it alone in the pod.  Synchronous training is
+        gated by its slowest participant, so the job's factor is the
+        minimum over its pods.  1.0 when the job shares no pod.
+        """
+        factor = 1.0
+        for pod in self.pods_of(job):
+            own = self.pod_load_of(pod, job)
+            total = self.pod_load(pod)
+            if total <= own:
+                continue
+            shared = _pod_flow_throughput(total, uplinks)
+            alone = _pod_flow_throughput(own, uplinks)
+            if alone > 0:
+                factor = min(factor, min(1.0, shared / alone))
+        return factor

@@ -2,7 +2,16 @@
 
 import pytest
 
-from repro.hardware import CX6_200G, Cluster, Nic, Node, NodeSpec, build_nodes
+from repro.hardware import (
+    CX6_200G,
+    Cluster,
+    Nic,
+    Node,
+    NodeSpec,
+    NoSpareAvailable,
+    UnknownNode,
+    build_nodes,
+)
 
 
 def test_node_has_eight_gpus_and_nics_by_default():
@@ -76,14 +85,84 @@ def test_cluster_eviction_replaces_from_spares():
 
 def test_cluster_eviction_without_spares_raises():
     cluster = Cluster.build(n_nodes=2)
-    with pytest.raises(LookupError):
+    with pytest.raises(NoSpareAvailable):
         cluster.evict(cluster.nodes[0].node_id)
 
 
 def test_cluster_eviction_of_unknown_node_raises():
     cluster = Cluster.build(n_nodes=2, n_spares=1)
-    with pytest.raises(LookupError):
+    with pytest.raises(UnknownNode):
         cluster.evict(999_999_999)
+
+
+def test_spare_exhaustion_and_unknown_node_are_distinct_exceptions():
+    """The scheduler retries on exhaustion but must not mask stale-id bugs."""
+    cluster = Cluster.build(n_nodes=2)
+    with pytest.raises(NoSpareAvailable):
+        cluster.evict(cluster.nodes[0].node_id)
+    with pytest.raises(UnknownNode):
+        cluster.evict(123_456_789)
+    # Both stay catchable as LookupError for legacy callers.
+    assert issubclass(NoSpareAvailable, LookupError)
+    assert issubclass(UnknownNode, LookupError)
+    assert not issubclass(NoSpareAvailable, UnknownNode)
+    assert not issubclass(UnknownNode, NoSpareAvailable)
+
+
+def test_evicted_node_no_longer_resolvable():
+    """Regression: evict used to leave the dead node in the _by_id index."""
+    cluster = Cluster.build(n_nodes=3, n_spares=1)
+    bad = cluster.nodes[1]
+    replacement = cluster.evict(bad.node_id)
+    with pytest.raises(UnknownNode):
+        cluster.node(bad.node_id)
+    assert cluster.node(replacement.node_id) is replacement
+
+
+def test_removed_node_no_longer_resolvable():
+    """Regression: remove used to leave the dead node in the _by_id index."""
+    cluster = Cluster.build(n_nodes=3)
+    bad = cluster.nodes[2]
+    cluster.remove(bad.node_id)
+    with pytest.raises(UnknownNode):
+        cluster.node(bad.node_id)
+    with pytest.raises(UnknownNode):
+        cluster.remove(bad.node_id)  # double-remove is a stale reference
+
+
+def test_node_of_rank_after_remove_repacks_and_bounds_check():
+    """Regression: ranks re-pack over survivors after a shrink; stale
+    pre-shrink ranks past the new GPU count raise instead of aliasing."""
+    cluster = Cluster.build(n_nodes=4)
+    survivor = cluster.nodes[2]
+    cluster.remove(cluster.nodes[1].node_id)
+    # 3 nodes x 8 GPUs remain: rank 8 now belongs to the packed survivor.
+    assert cluster.n_gpus == 24
+    assert cluster.node_of_rank(8) is survivor
+    with pytest.raises(IndexError):
+        cluster.node_of_rank(24)
+    with pytest.raises(IndexError):
+        cluster.node_of_rank(-1)
+
+
+def test_node_of_rank_on_empty_cluster_raises_index_error():
+    cluster = Cluster.build(n_nodes=1)
+    cluster.remove(cluster.nodes[0].node_id)
+    with pytest.raises(IndexError):
+        cluster.node_of_rank(0)
+
+
+def test_draw_and_return_spare_round_trip():
+    cluster = Cluster.build(n_nodes=2, n_spares=1)
+    spare = cluster.draw_spare()
+    assert cluster.spare_count == 0
+    with pytest.raises(NoSpareAvailable):
+        cluster.draw_spare()
+    cluster.return_spare(spare)
+    assert cluster.spare_count == 1
+    assert cluster.node(spare.node_id) is spare
+    with pytest.raises(ValueError):
+        cluster.return_spare(cluster.nodes[0])  # still active
 
 
 def test_faulty_nodes_listing():

@@ -1,0 +1,184 @@
+"""Concurrent spare contention, preemption, and goodput accounting.
+
+The controlled tests drive :class:`ClusterScheduler` with scripted fault
+timelines (one correlated incident at a known time hitting known racks),
+so the arbitration outcome is fully predictable; the scenario tests
+re-run the seeded chaos gate end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fault.domains import RACK_POWER_FAULT, DomainTopology
+from repro.fault.faults import FaultEvent
+from repro.hardware.cluster import Cluster
+from repro.observability.telemetry import SUBSYSTEM_LANES, TelemetryHub
+from repro.parallel.plan import plan_for_gpus
+from repro.scheduler import (
+    ClusterScheduler,
+    JobSpec,
+    JobState,
+    multi_tenant_chaos,
+    run_policy,
+)
+from repro.scheduler.scenarios import _fingerprint
+
+
+class ScriptedInjector:
+    """Replays a fixed event list (duck-types FaultInjector.sample)."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+    def sample(self, horizon):
+        return [e for e in self.events if e.time < horizon]
+
+
+def rack_fault(t, nodes, rack):
+    return FaultEvent(
+        time=t,
+        kind=RACK_POWER_FAULT,
+        node_index=nodes[0],
+        node_indices=tuple(nodes),
+        domain=f"rack{rack}",
+    )
+
+
+def make_scheduler(policy="priority", n_spares=1, seed=0, hub=None):
+    """Two tp=8 tenants filling 12 nodes; rack 1 (4-7) straddles both."""
+    topology = DomainTopology(n_nodes=12, nodes_per_rack=4, nodes_per_pod=8)
+    cluster = Cluster.build(n_nodes=12, n_spares=n_spares)
+    jobs = (
+        JobSpec(name="prod", plan=plan_for_gpus(48, tp=8, pp=1),
+                priority=10, weight=2.0, preemptible=False),
+        JobSpec(name="research", plan=plan_for_gpus(48, tp=8, pp=1),
+                priority=1, weight=1.0),
+    )
+    return ClusterScheduler(
+        cluster=cluster,
+        topology=topology,
+        jobs=jobs,
+        policy=policy,
+        rng=np.random.default_rng(seed),
+        hub=hub,
+    )
+
+
+def test_placement_is_topology_aligned():
+    scheduler = make_scheduler()
+    assert scheduler.placement.nodes_of("prod") == [0, 1, 2, 3, 4, 5]
+    assert scheduler.placement.nodes_of("research") == [6, 7, 8, 9, 10, 11]
+
+
+def test_last_spare_contention_priority_wins_and_loser_shrinks():
+    """One rack-PSU incident injures both tenants; one spare remains.
+
+    The high-priority job must win the spare deterministically and the
+    loser must shrink DP instead of stalling.
+    """
+    scheduler = make_scheduler(policy="priority", n_spares=1)
+    report = scheduler.run(
+        ScriptedInjector([rack_fault(1000.0, [4, 5, 6, 7], rack=1)]),
+        duration=40_000.0,
+    )
+    grants = {
+        d.job: d.detail_dict() for d in report.decisions if d.action == "grant"
+    }
+    assert list(grants) == ["prod"], "the high-priority claimant wins the spare"
+    assert grants["prod"]["granted"] == 1
+    # Both jobs were short; both shrank, neither stalled.
+    shrunk = {d.job: d.detail_dict()["dp"] for d in report.actions("shrink")}
+    assert shrunk["prod"] == 5 and shrunk["research"] == 4
+    assert not report.actions("stall")
+    # spares accounting is consistent across jobs and with the cluster.
+    assert report.spares_consumed_by == {"prod": 1}
+    assert report.per_job["prod"].spares_consumed == 1
+    assert report.per_job["research"].spares_consumed == 0
+    assert scheduler.pool.consistent()
+    # The loser never stalls; both regrow to full DP once the broken
+    # hosts come back from background repair.
+    assert report.per_job["research"].stall_seconds == 0.0
+    assert report.actions("regrow")
+    assert scheduler.jobs["prod"].plan.dp == 6
+    assert scheduler.jobs["research"].plan.dp == 6
+    assert scheduler.jobs["prod"].state is JobState.RUNNING
+    assert scheduler.jobs["research"].state is JobState.RUNNING
+
+
+def test_fifo_baseline_stalls_the_losers():
+    scheduler = make_scheduler(policy="fifo", n_spares=1)
+    report = scheduler.run(
+        ScriptedInjector([rack_fault(1000.0, [4, 5, 6, 7], rack=1)]),
+        duration=40_000.0,
+    )
+    stalled = {d.job for d in report.actions("stall")}
+    assert stalled == {"prod", "research"}  # both short, both block
+    assert not report.actions("shrink")
+    # Bounded: provisioning brings every stalled job back.
+    assert report.actions("provisioned")
+    assert scheduler.jobs["prod"].state is JobState.RUNNING
+    assert scheduler.jobs["research"].state is JobState.RUNNING
+
+
+def test_preemption_rescues_a_stalling_high_priority_job():
+    """Losing most of its hosts pushes prod below the DP floor: it must
+    reclaim capacity from the lower-priority tenant, which sheds nodes
+    gracefully (shrinks) rather than dying."""
+    scheduler = make_scheduler(policy="priority", n_spares=1)
+    report = scheduler.run(
+        ScriptedInjector([
+            rack_fault(1000.0, [4, 5, 6, 7], rack=1),
+            rack_fault(1100.0, [0, 1, 2, 3], rack=0),
+        ]),
+        duration=40_000.0,
+    )
+    preempts = report.actions("preempt")
+    assert preempts and all(d.job == "research" for d in preempts)
+    assert preempts[0].detail_dict()["by"] == "prod"
+    assert report.per_job["research"].preemptions == 1
+    # The victim keeps training at its floor instead of stalling.
+    assert scheduler.jobs["research"].plan.dp >= 1
+    assert not report.actions("stall")
+    assert scheduler.jobs["prod"].plan.dp >= 4
+    assert scheduler.pool.consistent()
+
+
+def test_winner_is_deterministic_per_seed():
+    for seed in (0, 1):
+        first, _ = run_policy(seed, "priority", days=1.0)
+        second, _ = run_policy(seed, "priority", days=1.0)
+        assert _fingerprint(first) == _fingerprint(second)
+        winners = [d.job for d in first.actions("grant")]
+        winners_again = [d.job for d in second.actions("grant")]
+        assert winners == winners_again
+
+
+def test_goodput_timeline_is_monotone_and_bounded():
+    report, _ = run_policy(0, "priority", days=1.0)
+    total_weight = sum(j.weight for j in report.per_job.values())
+    cursor = 0.0
+    for segment in report.segments:
+        assert segment.end > segment.start >= cursor - 1e-9
+        assert 0.0 <= segment.goodput <= total_weight + 1e-9
+        cursor = segment.end
+    assert report.segments[-1].end == pytest.approx(report.duration)
+    assert 0.0 < report.mean_goodput <= total_weight
+
+
+def test_scheduler_emits_its_own_telemetry_lane():
+    assert SUBSYSTEM_LANES["scheduler"] == 7
+    hub = TelemetryHub(job_name="sched-test")
+    scheduler = make_scheduler(policy="priority", hub=hub)
+    scheduler.run(
+        ScriptedInjector([rack_fault(1000.0, [4, 5, 6, 7], rack=1)]),
+        duration=40_000.0,
+    )
+    assert "scheduler" in hub.session.subsystems()
+    actions = {i.name for i in hub.session.instants if i.subsystem == "scheduler"}
+    assert {"place", "claim", "grant", "deny", "shrink"} <= actions
+
+
+def test_multi_tenant_chaos_gate_single_seed():
+    (summary,) = multi_tenant_chaos(seeds=(0,), days=2.0)
+    assert summary["goodput_priority"] > summary["goodput_fifo"]
+    assert summary["spares_consumed"] >= 1
