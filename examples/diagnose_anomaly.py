@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Automated root-cause attribution over a telemetry trace (§5).
+
+Runs an injected-fault training scenario (a rack of slow GPUs, a ToR
+switch blast, an ECMP hash collision, ...), captures the full telemetry
+session, then hands it to the diagnosis engine — which decomposes each
+iteration against the analytic expectation, runs streaming detectors
+over the gauge series, and correlates the anomaly windows with fault
+events to emit a ranked, machine-readable report.
+
+    python examples/diagnose_anomaly.py [scenario] [seed]
+
+Scenarios: clean, straggler, tor-blast, ecmp-collision, preemption,
+data-stall.  Equivalent CLI: `repro diagnose --scenario straggler`.
+"""
+
+import sys
+
+from repro.observability import diagnose_files, diagnose_hub
+from repro.observability.diagnosis import SCENARIOS, TRUE_CAUSE, run_scenario
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "straggler"
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+    if name not in SCENARIOS:
+        raise SystemExit(f"unknown scenario {name!r}; choose from {', '.join(SCENARIOS)}")
+
+    print(f"running scenario {name!r} (seed {seed}) and diagnosing the live hub...\n")
+    hub = run_scenario(name, seed=seed)
+    report = diagnose_hub(hub)
+    print(report.describe())
+
+    truth = TRUE_CAUSE[name]
+    top = report.top()
+    if truth is None:
+        verdict = "clean run, zero findings" if report.clean else "FALSE POSITIVE"
+    else:
+        verdict = "correct" if top and top.cause == truth else "MISSED"
+    print(f"\ninjected cause: {truth or '(none)'} -> top-1 attribution {verdict}")
+
+    # The same diagnosis works offline from a saved trace + metrics sidecar.
+    n_events, metrics_path = hub.save("diagnose_session.json")
+    offline = diagnose_files("diagnose_session.json")
+    assert offline.to_json() == report.to_json()
+    print(f"saved {n_events} events -> diagnose_session.json (+ {metrics_path})")
+    print("offline diagnosis of the saved trace is byte-identical to the live one")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,7 @@ Commands mirror the paper's experiments:
 * ``production`` — a fault-injected multi-week run (Figure 11)
 * ``tune`` — auto-tune the 3D parallelism for a model + GPU count
 * ``trace`` — inspect/render a saved telemetry trace document
+* ``diagnose`` — root-cause attribution over a saved trace or scenario
 * ``validate`` — fabric-vs-analytic agreement report (§3.6)
 
 ``production`` and ``sweep`` accept ``--trace out.json``: everything the
@@ -264,6 +265,36 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_diagnose(args) -> int:
+    from .observability.diagnosis import (
+        SCENARIOS,
+        diagnose_files,
+        diagnose_hub,
+        run_scenario,
+    )
+
+    if bool(args.trace) == bool(args.scenario):
+        print("diagnose: pass exactly one of --trace or --scenario", file=sys.stderr)
+        return 2
+    if args.trace:
+        report = diagnose_files(args.trace, metrics_path=args.metrics)
+    else:
+        if args.scenario not in SCENARIOS:
+            print(
+                f"diagnose: unknown scenario {args.scenario!r}; "
+                f"pick from {', '.join(SCENARIOS)}",
+                file=sys.stderr,
+            )
+            return 2
+        report = diagnose_hub(run_scenario(args.scenario, seed=args.seed))
+    print(report.describe())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"\nwrote {args.out}")
+    return 0 if (report.clean or report.findings) else 1
+
+
 def cmd_tune(args) -> int:
     from .model import MODEL_CATALOG
     from .parallel import tune_with_stats
@@ -419,6 +450,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fail (exit 1) if the same-ToR fabric price deviates "
                         "from the alpha-beta closed form by this much or more")
     p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser(
+        "diagnose",
+        help="root-cause attribution over a saved trace or an injected scenario",
+    )
+    p.add_argument("--trace", help="saved trace document (from --trace/hub.save)")
+    p.add_argument(
+        "--metrics",
+        help="metrics JSONL sidecar (default: derived from the trace path)",
+    )
+    p.add_argument(
+        "--scenario",
+        help="run an injected-cause scenario inline "
+             "(clean, straggler, tor-blast, ecmp-collision, preemption, data-stall)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="also write the machine-readable JSON report here")
+    p.set_defaults(func=cmd_diagnose)
 
     p = sub.add_parser("tune", help="auto-tune 3D parallelism (exact bound-and-prune search)")
     _add_job_args(p)

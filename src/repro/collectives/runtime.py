@@ -106,6 +106,7 @@ class RingCollectiveRuntime:
         sim: Optional[Simulator] = None,
         hub=None,
         rank: int = 0,
+        at: float = 0.0,
     ) -> CollectiveRun:
         """Execute ``kind`` of a ``size``-byte tensor; returns its timing.
 
@@ -114,7 +115,9 @@ class RingCollectiveRuntime:
         the slowest finishes (NCCL's synchronous ring pipeline).  With a
         :class:`~repro.observability.TelemetryHub` as ``hub`` the whole
         collective lands as one span on the ``collectives`` lane (row
-        ``rank``) with bytes/algorithm attributes, plus per-step digests.
+        ``rank``) with bytes/algorithm attributes plus congestion evidence
+        (``max_link_load``/``paused_flows``), offset by ``at`` so callers
+        can place it on an absolute scenario clock.
         """
         if size < 0:
             raise ValueError("size must be non-negative")
@@ -127,7 +130,9 @@ class RingCollectiveRuntime:
             raise ValueError(f"unsupported collective {kind!r}")
         if n == 1 or size == 0 or n_steps == 0:
             run = CollectiveRun(kind=kind, n_ranks=n, total_time=0.0)
-            self._emit_telemetry(hub, run, size, rank, start=sim.now if sim else 0.0)
+            self._emit_telemetry(
+                hub, run, size, rank, start=(sim.now if sim else 0.0) + at
+            )
             return run
 
         sim = sim or Simulator()
@@ -168,7 +173,7 @@ class RingCollectiveRuntime:
         Process(sim, driver(), name=f"{kind}-ring")
         sim.run()
         run = CollectiveRun(kind=kind, n_ranks=n, total_time=done["t"] - start, steps=steps)
-        self._emit_telemetry(hub, run, size, rank, start=start)
+        self._emit_telemetry(hub, run, size, rank, start=start + at)
         return run
 
     def _emit_telemetry(
@@ -176,6 +181,7 @@ class RingCollectiveRuntime:
     ) -> None:
         if hub is None:
             return
+        worst = max(run.steps, key=lambda s: s.max_link_load, default=None)
         hub.span(
             "collectives",
             run.kind,
@@ -187,6 +193,9 @@ class RingCollectiveRuntime:
             algorithm="ring",
             n_ranks=run.n_ranks,
             steps=len(run.steps),
+            max_link_load=worst.max_link_load if worst else 0,
+            paused_flows=worst.paused_flows if worst else 0,
+            utilization=worst.utilization if worst else 0.0,
         )
         hub.count("collectives", "executed", 1, kind=run.kind)
         hub.count("collectives", "bytes_moved", size)

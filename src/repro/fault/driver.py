@@ -220,6 +220,52 @@ class LiveMonitors:
 # -- multi-week production timeline (Figure 11) --------------------------------
 
 
+def emit_incident_telemetry(
+    hub,
+    event: FaultEvent,
+    detected_at: float,
+    resumed_at: float,
+    auto: bool = True,
+    lost_iterations: int = 0,
+    spares_consumed: int = 0,
+    fell_back: bool = False,
+    monitors=None,
+) -> None:
+    """One fault's full telemetry footprint on the ``fault`` lane.
+
+    Emits the fault instant (with blast radius and failure domain — the
+    attrs the diagnosis correlator keys on), the detect and recover
+    spans, and the incident counters.  Shared by :class:`ProductionRun`
+    and the injected-cause diagnosis scenarios so both produce the same
+    schema.
+    """
+    hub.instant(
+        "fault",
+        event.kind.name,
+        event.time,
+        rank=event.node_index,
+        manifestation=event.kind.manifestation.value,
+        blast_radius=event.blast_radius,
+        domain=event.domain or f"node{event.node_index}",
+    )
+    hub.span(
+        "fault", "detect", event.node_index, event.time, detected_at,
+        stream="detect", kind=event.kind.name,
+    )
+    hub.span(
+        "fault", "recover", event.node_index, detected_at, resumed_at,
+        stream="recover", kind=event.kind.name, auto=auto,
+        lost_iterations=lost_iterations,
+        spares_consumed=spares_consumed,
+        fell_back=fell_back,
+    )
+    hub.count("fault", "incidents", 1, kind=event.kind.name)
+    hub.observe("fault", "downtime", resumed_at - detected_at)
+    hub.observe("fault", "detection_time", detected_at - event.time)
+    if monitors is not None:
+        monitors.observe_incident(event, detected_at, resumed_at)
+
+
 def default_loss_curve(tokens: float) -> float:
     """Chinchilla-style surrogate for the Figure 11 loss trajectory.
 
@@ -519,30 +565,14 @@ class ProductionRun:
             diagnosed_at = detected_at + outcome.diagnose
             resumed_at = detected_at + outcome.downtime
             if self.hub is not None:
-                self.hub.instant(
-                    "fault",
-                    event.kind.name,
-                    event.time,
-                    rank=event.node_index,
-                    manifestation=event.kind.manifestation.value,
-                    blast_radius=event.blast_radius,
-                    domain=event.domain or f"node{event.node_index}",
-                )
-                self.hub.span(
-                    "fault", "detect", event.node_index, event.time, detected_at,
-                    stream="detect", kind=event.kind.name,
-                )
-                self.hub.span(
-                    "fault", "recover", event.node_index, detected_at, resumed_at,
-                    stream="recover", kind=event.kind.name, auto=outcome.auto,
+                emit_incident_telemetry(
+                    self.hub, event, detected_at, resumed_at,
+                    auto=outcome.auto,
                     lost_iterations=outcome.lost_iterations,
                     spares_consumed=outcome.spares_consumed,
                     fell_back=outcome.fell_back,
+                    monitors=self.monitors,
                 )
-                self.hub.count("fault", "incidents", 1, kind=event.kind.name)
-                self.hub.observe("fault", "downtime", outcome.downtime)
-                self.hub.observe("fault", "detection_time", detect)
-                self.monitors.observe_incident(event, detected_at, resumed_at)
             log.add(
                 RecoveryRecord(
                     fault=event,

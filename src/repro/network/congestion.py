@@ -142,6 +142,7 @@ def simulate_bottleneck(
     pfc_xoff: Optional[float] = None,
     seed: int = 0,
     hub=None,
+    t0: float = 0.0,
 ) -> CongestionResult:
     """Run ``n_flows`` senders into one bottleneck under ``algorithm``.
 
@@ -152,7 +153,8 @@ def simulate_bottleneck(
     With a :class:`~repro.observability.TelemetryHub` as ``hub`` the
     experiment emits link-utilization and queue-depth gauge samples
     (Chrome counter events on the ``network`` lane) plus one summary
-    span per experiment.
+    span per experiment, all offset by ``t0`` so the evidence lands on
+    the caller's scenario clock rather than at time zero.
     """
     cc_cls = CC_ALGORITHMS.get(algorithm)
     if cc_cls is None:
@@ -189,17 +191,18 @@ def simulate_bottleneck(
             f.on_signal(rtt, marked, dt)
         if hub is not None and step % sample_every == 0:
             hub.sample(
-                "network", f"link_utilization[{algorithm}]", now, drained / dt / capacity
+                "network", f"link_utilization[{algorithm}]", t0 + now,
+                drained / dt / capacity,
             )
-            hub.sample("network", f"queue_bytes[{algorithm}]", now, queue)
+            hub.sample("network", f"queue_bytes[{algorithm}]", t0 + now, queue)
     pfc.finish(duration)
     if hub is not None:
         hub.span(
             "network",
             f"bottleneck[{algorithm}]",
             0,
-            0.0,
-            duration,
+            t0,
+            t0 + duration,
             stream="congestion",
             algorithm=algorithm,
             n_flows=n_flows,

@@ -26,8 +26,16 @@ from .export import (
     loads_round_trip,
     timeline_to_chrome_trace,
 )
+from .diagnosis import (
+    DiagnosisEngine,
+    DiagnosisReport,
+    Finding,
+    TelemetryView,
+    diagnose_files,
+    diagnose_hub,
+)
 from .monitors import HealthFinding, MillisecondMonitor, SecondLevelMonitor
-from .report import DiagnosisReport, diagnose
+from .report import TimerReport, diagnose
 from .telemetry import (
     SUBSYSTEM_LANES,
     Instant,
@@ -43,7 +51,13 @@ __all__ = [
     "CudaEventTimer",
     "DeclineAttribution",
     "DependencyGraph",
+    "TimerReport",
+    "DiagnosisEngine",
     "DiagnosisReport",
+    "Finding",
+    "TelemetryView",
+    "diagnose_files",
+    "diagnose_hub",
     "Instant",
     "MetricsRegistry",
     "PercentileDigest",

@@ -1,0 +1,123 @@
+"""Deterministic streaming detectors over gauge series.
+
+Two detectors, both pure functions of the series (no RNG, no wall
+clock, ``statistics.median`` only) so the same telemetry always yields
+the same anomaly windows:
+
+* :func:`detect_shifts` — a leading-baseline windowed-median detector.
+  The baseline is the median of the series' *first* ``baseline_window``
+  samples; a trailing median would adapt to a persistent regression and
+  stop flagging exactly the incidents worth diagnosing.
+* :func:`cusum_changepoints` — two-sided CUSUM over the same baseline,
+  flagging the instant a small persistent drift accumulates past the
+  decision threshold (catches shifts too small for the shift detector's
+  per-sample threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AnomalyWindow:
+    """A contiguous run of samples deviating the same way from baseline."""
+
+    metric: str
+    start: float
+    end: float
+    direction: str  # "drop" | "spike"
+    magnitude: float  # peak |relative deviation| inside the window
+    n_samples: int
+
+
+def detect_shifts(
+    series: Sequence[Tuple[float, float]],
+    metric: str,
+    baseline_window: int = 5,
+    threshold: float = 0.05,
+) -> List[AnomalyWindow]:
+    """Anomaly windows where the series deviates >= ``threshold``
+    (relative) from the leading-baseline median.
+
+    A constant series yields no windows; series shorter than the
+    baseline window can't establish a baseline and yield none either.
+    """
+    if baseline_window < 1:
+        raise ValueError("baseline_window must be >= 1")
+    if len(series) <= baseline_window:
+        return []
+    baseline = median(v for _, v in series[:baseline_window])
+    scale = max(abs(baseline), 1e-12)
+
+    windows: List[AnomalyWindow] = []
+    run: List[Tuple[float, float]] = []  # (t, relative deviation)
+    direction = ""
+
+    def flush() -> None:
+        if run:
+            windows.append(
+                AnomalyWindow(
+                    metric=metric,
+                    start=run[0][0],
+                    end=run[-1][0],
+                    direction=direction,
+                    magnitude=max(abs(rel) for _, rel in run),
+                    n_samples=len(run),
+                )
+            )
+
+    for t, v in series[baseline_window:]:
+        rel = (v - baseline) / scale
+        if abs(rel) >= threshold:
+            sign = "drop" if rel < 0 else "spike"
+            if run and sign != direction:
+                flush()
+                run = []
+            direction = sign
+            run.append((t, rel))
+        else:
+            flush()
+            run = []
+    flush()
+    return windows
+
+
+def cusum_changepoints(
+    series: Sequence[Tuple[float, float]],
+    metric: str,
+    baseline_window: int = 5,
+    slack: float = 0.5,
+    decision: float = 4.0,
+) -> List[Tuple[float, str]]:
+    """Two-sided CUSUM changepoints as ``(time, direction)`` pairs.
+
+    Samples are standardized against the leading baseline's median, with
+    the spread floored at 2% of the baseline so a perfectly flat
+    baseline doesn't turn noise into infinite z-scores.  ``slack`` is
+    the per-sample allowance (k) and ``decision`` the alarm threshold
+    (h) of the classic CUSUM recursion; the statistic resets on alarm so
+    repeated shifts re-fire.
+    """
+    if len(series) <= baseline_window:
+        return []
+    head = [v for _, v in series[:baseline_window]]
+    base = median(head)
+    mad = median(abs(v - base) for v in head)
+    scale = max(mad, 0.02 * abs(base), 1e-12)
+
+    points: List[Tuple[float, str]] = []
+    s_hi = s_lo = 0.0
+    for t, v in series[baseline_window:]:
+        z = (v - base) / scale
+        s_hi = max(0.0, s_hi + z - slack)
+        s_lo = max(0.0, s_lo - z - slack)
+        if s_hi > decision:
+            points.append((t, "spike"))
+            s_hi = 0.0
+        if s_lo > decision:
+            points.append((t, "drop"))
+            s_lo = 0.0
+    return points

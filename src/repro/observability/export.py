@@ -271,6 +271,44 @@ def lane_summary(document: dict) -> List[dict]:
     return [lanes[pid] for pid in sorted(lanes)]
 
 
+def lane_subsystems(document: dict) -> Dict[int, str]:
+    """pid -> bare subsystem name (the ``job/subsystem`` suffix)."""
+    return {
+        pid: name.rsplit("/", 1)[-1] if name else f"pid {pid}"
+        for pid, name in lane_names(document).items()
+    }
+
+
+def load_metrics_records(path: str) -> List[dict]:
+    """Parse a ``.metrics.jsonl`` sidecar back into metric records."""
+    records: List[dict] = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def gauge_series_from_records(
+    records: List[dict],
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Full gauge series by metric name, merged across label sets.
+
+    Consumes the ``series`` field the registry now exports; series that
+    share a name (e.g. per-rank variants) are merged and time-sorted so
+    detectors see one stream per metric.
+    """
+    merged: Dict[str, List[Tuple[float, float]]] = {}
+    for record in records:
+        if record.get("kind") != "gauge" or "series" not in record:
+            continue
+        merged.setdefault(record["name"], []).extend(
+            (float(t), float(v)) for t, v in record["series"]
+        )
+    return {name: sorted(series) for name, series in merged.items()}
+
+
 def lane_recorder(document: dict, lane: str) -> TraceRecorder:
     """Rebuild a :class:`TraceRecorder` from one lane's 'X' events.
 

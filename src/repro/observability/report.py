@@ -16,7 +16,7 @@ from .mfu_analysis import DeclineAttribution, attribute_decline
 
 
 @dataclass(frozen=True)
-class DiagnosisReport:
+class TimerReport:
     """Everything the tooling concluded about one run's recordings."""
 
     heatmap: HeatmapResult
@@ -49,7 +49,7 @@ def diagnose(
     timer: CudaEventTimer,
     segment: str = "forward",
     gpus_per_node: int = 8,
-) -> DiagnosisReport:
+) -> TimerReport:
     """Run the full §5 analysis battery on a timer's recordings."""
     heatmap = analyze(timer, segment)
     nodes = straggler_machines(heatmap, gpus_per_node)
@@ -73,7 +73,7 @@ def diagnose(
                 f"investigate the growing {decline.culprit} segment"
             )
     healthy = not recommendations
-    return DiagnosisReport(
+    return TimerReport(
         heatmap=heatmap,
         straggler_nodes=nodes,
         decline=decline,

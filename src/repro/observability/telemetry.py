@@ -115,18 +115,28 @@ class PercentileDigest:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """The value at quantile ``q`` in [0, 1] (0.5 = median)."""
+        """The value at quantile ``q`` in [0, 1] (0.5 = median).
+
+        The extremes are exact: ``percentile(0.0)`` / ``percentile(1.0)``
+        return the tracked ``min`` / ``max`` (after compression the edge
+        centroids are weighted means, so walking the sketch would report
+        p100 < max).  Interior results are clamped to ``[min, max]``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if not self._centroids:
             return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         target = q * self.count
         seen = 0.0
         for value, weight in self._centroids:
             seen += weight
             if seen >= target:
-                return value
-        return self._centroids[-1][0]
+                return min(max(value, self.min), self.max)
+        return min(max(self._centroids[-1][0], self.min), self.max)
 
 
 class MetricsRegistry:
@@ -188,7 +198,13 @@ class MetricsRegistry:
     # -- export ------------------------------------------------------------
 
     def records(self) -> List[dict]:
-        """One JSON-ready record per metric, deterministically ordered."""
+        """One JSON-ready record per metric, deterministically ordered.
+
+        Gauge records carry the **full** ``series`` (list of ``[t, value]``
+        pairs), not just the sample count and last value — the anomaly
+        detectors of :mod:`repro.observability.diagnosis` run on a saved
+        ``.metrics.jsonl`` sidecar exactly as they would on a live hub.
+        """
         out: List[dict] = []
         for (name, labels), value in sorted(self._counters.items()):
             out.append(
@@ -202,6 +218,7 @@ class MetricsRegistry:
                     "labels": dict(labels),
                     "samples": len(series),
                     "last": series[-1][1] if series else None,
+                    "series": [[t, v] for t, v in series],
                 }
             )
         for (name, labels), digest in sorted(self._digests.items()):

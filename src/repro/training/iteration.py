@@ -85,6 +85,22 @@ class IterationResult:
             return 0.0
         return max(0.0, 1.0 - self.compute_time / self.pipeline_time)
 
+    def terms(self) -> Dict[str, float]:
+        """The additive per-term breakdown of ``iteration_time``.
+
+        These are the cost-model terms the diagnosis layer residualizes:
+        ``pipeline + data_stall + dp_exposed + optimizer (+ perturbation)``
+        sums to ``iteration_time`` exactly, so an observed slowdown can be
+        attributed to the term that drifted.
+        """
+        return {
+            "pipeline": self.pipeline_time,
+            "data_stall": self.data_stall,
+            "dp_exposed": self.dp_exposed,
+            "optimizer": self.optimizer_time,
+            "perturbation": self.perturbation,
+        }
+
 
 class IterationEngine:
     """Prices one iteration of (model, plan, features) on given hardware."""

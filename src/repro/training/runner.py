@@ -25,6 +25,93 @@ from .iteration import IterationEngine, IterationResult
 from .stragglers import PerturbationModel, StragglerModel
 
 
+def emit_expectation(hub, engine: IterationEngine, global_batch: int) -> IterationResult:
+    """Emit the analytic cost model's clean per-term breakdown as a span.
+
+    One ``expectation`` span on the ``training`` lane (stream
+    ``baseline``) carries the engine's per-term prediction for a healthy
+    iteration — the reference the diagnosis layer residualizes observed
+    iterations against, without needing the model/plan at analysis time.
+    """
+    clean = engine.simulate(global_batch)
+    hub.span(
+        "training", "expectation", 0, 0.0, clean.iteration_time,
+        stream="baseline",
+        iteration_time=clean.iteration_time,
+        global_batch=global_batch,
+        dp=engine.plan.dp,
+        world_size=engine.plan.world_size,
+        mfu=clean.mfu,
+        **clean.terms(),
+    )
+    return clean
+
+
+def emit_iteration(
+    hub,
+    engine: IterationEngine,
+    global_batch: int,
+    step: int,
+    clock: float,
+    iteration: IterationResult,
+    overhead: float = 0.0,
+    speed: float = 1.0,
+    stage_speed=None,
+) -> None:
+    """Per-step telemetry on the ``training`` lane (absolute clock).
+
+    Emits one ``iteration`` span whose attrs are the observed per-term
+    breakdown (what the diagnosis baselines consume), the per-stage
+    segment spans mirroring :meth:`TrainingRunner._record_segments`, and
+    the MFU / tokens-per-second gauges.  ``stage_speed`` derates
+    individual stages' compute spans (straggler hosts) to match what the
+    engine simulated.
+    """
+    plan = engine.plan
+    m = plan.n_microbatches(global_batch)
+    speeds = list(stage_speed) if stage_speed is not None else [1.0] * plan.pp
+    hub.span(
+        "training", "iteration", 0, clock, clock + iteration.iteration_time,
+        stream="iteration",
+        step=step,
+        iteration_time=iteration.iteration_time,
+        global_batch=global_batch,
+        dp=plan.dp,
+        world_size=plan.world_size,
+        mfu=iteration.mfu,
+        **iteration.terms(),
+    )
+    for stage in range(plan.pp):
+        fwd = engine.f_chunk * m * plan.vpp / (speed * speeds[stage])
+        bwd = engine.b_chunk * m * plan.vpp / (speed * speeds[stage])
+        skew = overhead if stage == 1 else 0.0
+        t = clock
+        hub.span(
+            "training", "forward", stage, t, t + fwd + skew,
+            stream="compute", step=step,
+        )
+        t += fwd + skew
+        hub.span(
+            "training", "backward", stage, t, t + bwd,
+            stream="compute", step=step,
+        )
+        rs_start = clock + iteration.pipeline_time + skew
+        rs_end = rs_start + max(iteration.dp_exposed, 1e-4)
+        hub.span(
+            "training", "reduce_scatter", stage, rs_start, rs_end,
+            stream="comm", step=step,
+        )
+        hub.span(
+            "training", "optimizer", stage, rs_end,
+            rs_end + iteration.optimizer_time, stream="compute", step=step,
+        )
+    end = clock + iteration.iteration_time
+    hub.sample("training", "mfu", end, iteration.mfu)
+    hub.sample("training", "tokens_per_second", end, iteration.tokens_per_second)
+    hub.count("training", "iterations")
+    hub.observe("training", "iteration_time", iteration.iteration_time)
+
+
 @dataclass
 class RunResult:
     """One multi-iteration training run."""
@@ -98,6 +185,8 @@ class TrainingRunner:
         )
         result = RunResult(speed_factor=speed)
         clock = 0.0
+        if hub is not None:
+            emit_expectation(hub, self._engine, self.global_batch)
         for step in range(n_iterations):
             overhead = perturb.iteration_overhead(step)
             iteration = self._engine.simulate(
@@ -137,43 +226,11 @@ class TrainingRunner:
             )
 
     def _emit_telemetry(self, hub, step, clock, iteration, overhead, speed) -> None:
-        """Per-stage segment spans + MFU gauges on the ``training`` lane.
-
-        Mirrors :meth:`_record_segments` on an absolute clock: ``clock``
-        is the simulated start of this step, so successive iterations lay
-        out sequentially on the trace timeline.
-        """
-        engine = self._engine
-        m = self.plan.n_microbatches(self.global_batch)
-        for stage in range(self.plan.pp):
-            fwd = engine.f_chunk * m * self.plan.vpp / speed
-            bwd = engine.b_chunk * m * self.plan.vpp / speed
-            skew = overhead if stage == 1 else 0.0
-            t = clock
-            hub.span(
-                "training", "forward", stage, t, t + fwd + skew,
-                stream="compute", step=step,
-            )
-            t += fwd + skew
-            hub.span(
-                "training", "backward", stage, t, t + bwd,
-                stream="compute", step=step,
-            )
-            rs_start = clock + iteration.pipeline_time + skew
-            rs_end = rs_start + max(iteration.dp_exposed, 1e-4)
-            hub.span(
-                "training", "reduce_scatter", stage, rs_start, rs_end,
-                stream="comm", step=step,
-            )
-            hub.span(
-                "training", "optimizer", stage, rs_end,
-                rs_end + iteration.optimizer_time, stream="compute", step=step,
-            )
-        end = clock + iteration.iteration_time
-        hub.sample("training", "mfu", end, iteration.mfu)
-        hub.sample("training", "tokens_per_second", end, iteration.tokens_per_second)
-        hub.count("training", "iterations")
-        hub.observe("training", "iteration_time", iteration.iteration_time)
+        """Per-step spans + MFU gauges (see :func:`emit_iteration`)."""
+        emit_iteration(
+            hub, self._engine, self.global_batch, step, clock, iteration,
+            overhead=overhead, speed=speed,
+        )
 
     def run_trials(self, n_trials: int, n_iterations: int) -> List[RunResult]:
         """Independent scheduling draws of the same job (Figure 6)."""

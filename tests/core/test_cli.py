@@ -44,6 +44,37 @@ def test_tune_command(capsys):
     assert "#1" in out and "MFU" in out
 
 
+def test_diagnose_scenario_command(capsys, tmp_path):
+    out_path = tmp_path / "report.json"
+    assert main([
+        "diagnose", "--scenario", "straggler", "--seed", "1",
+        "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "straggler" in out
+    assert "#1" in out
+    assert out_path.exists()
+
+
+def test_diagnose_saved_trace_command(capsys, tmp_path):
+    from repro.observability.diagnosis import run_scenario
+
+    trace = tmp_path / "session.json"
+    run_scenario("tor-blast", seed=0).save(str(trace))
+    assert main(["diagnose", "--trace", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "tor-blast" in out
+
+
+def test_diagnose_requires_exactly_one_source(capsys):
+    assert main(["diagnose"]) == 2
+    assert main(["diagnose", "--trace", "x.json", "--scenario", "clean"]) == 2
+
+
+def test_diagnose_rejects_unknown_scenario():
+    assert main(["diagnose", "--scenario", "gremlins"]) == 2
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -1,0 +1,150 @@
+"""Unit tests for the diagnosis baselines and streaming detectors."""
+
+import pytest
+
+from repro.core.features import MEGASCALE_ISO_BATCH
+from repro.model import GPT_13B
+from repro.observability import TelemetryHub
+from repro.observability.diagnosis import (
+    TERMS,
+    TelemetryView,
+    cusum_changepoints,
+    decompose,
+    detect_shifts,
+    extract_expectation,
+    extract_iterations,
+    overlap_score,
+    plan_change_windows,
+    residual_windows,
+)
+from repro.parallel import ParallelPlan
+from repro.training.iteration import IterationEngine
+from repro.training.runner import emit_expectation, emit_iteration
+
+
+# -- detectors ---------------------------------------------------------------
+
+
+def test_constant_series_yields_no_windows():
+    series = [(float(t), 0.5) for t in range(50)]
+    assert detect_shifts(series, "mfu") == []
+    assert cusum_changepoints(series, "mfu") == []
+
+
+def test_short_series_yields_no_windows():
+    assert detect_shifts([(0.0, 1.0)], "mfu") == []
+    assert cusum_changepoints([(0.0, 1.0)], "mfu") == []
+
+
+def test_persistent_drop_is_one_window_with_leading_baseline():
+    # A trailing-median detector would adapt to the regression and stop
+    # flagging; the leading baseline must flag every post-shift sample.
+    series = [(float(t), 0.5) for t in range(10)]
+    series += [(float(t), 0.4) for t in range(10, 30)]
+    windows = detect_shifts(series, "mfu")
+    assert len(windows) == 1
+    (w,) = windows
+    assert w.direction == "drop"
+    assert w.n_samples == 20
+    assert w.start == 10.0 and w.end == 29.0
+    assert w.magnitude == pytest.approx(0.2)
+
+
+def test_spike_and_drop_split_into_separate_windows():
+    series = [(float(t), 1.0) for t in range(5)]
+    series += [(5.0, 2.0), (6.0, 2.0), (7.0, 0.5), (8.0, 0.5)]
+    windows = detect_shifts(series, "util")
+    assert [w.direction for w in windows] == ["spike", "drop"]
+
+
+def test_cusum_catches_small_persistent_drift():
+    # 2% drift: below the 5% shift threshold, but it accumulates.
+    series = [(float(t), 1.0) for t in range(10)]
+    series += [(float(t), 0.98) for t in range(10, 40)]
+    assert detect_shifts(series, "mfu") == []
+    points = cusum_changepoints(series, "mfu")
+    assert points and points[0][1] == "drop"
+
+
+def test_detectors_are_deterministic():
+    series = [(float(t), 0.5 + (0.1 if t % 7 == 0 else 0.0)) for t in range(60)]
+    assert detect_shifts(series, "g") == detect_shifts(series, "g")
+    assert cusum_changepoints(series, "g") == cusum_changepoints(series, "g")
+
+
+# -- overlap scoring ---------------------------------------------------------
+
+
+def test_overlap_containment_semantics():
+    # Short evidence fully inside a long window scores 1.0.
+    assert overlap_score(10.0, 11.0, 0.0, 100.0) == pytest.approx(1.0)
+    # A point instant inside a window scores 1.0; outside scores 0.
+    assert overlap_score(50.0, 50.0, 0.0, 100.0) == pytest.approx(1.0)
+    assert overlap_score(200.0, 200.0, 0.0, 100.0) == 0.0
+    # Half overlap of equal-length windows scores ~0.5.
+    assert overlap_score(0.0, 10.0, 5.0, 15.0) == pytest.approx(0.5, abs=0.01)
+
+
+# -- baselines ---------------------------------------------------------------
+
+
+def _hub_with_iterations(n_clean=4, n_slow=4):
+    hub = TelemetryHub()
+    plan = ParallelPlan(dp=2, tp=2, pp=4, vpp=1)
+    engine = IterationEngine(GPT_13B, plan, MEGASCALE_ISO_BATCH)
+    emit_expectation(hub, engine, 32)
+    clock = 0.0
+    for step in range(n_clean + n_slow):
+        speed = 0.85 if step >= n_clean else 1.0
+        iteration = engine.simulate(32, speed_factor=speed)
+        emit_iteration(hub, engine, 32, step, clock, iteration, speed=speed)
+        clock += iteration.iteration_time
+    return hub, engine
+
+
+def test_expectation_terms_sum_to_iteration_time():
+    hub, engine = _hub_with_iterations()
+    view = TelemetryView.from_hub(hub)
+    expected = extract_expectation(view)
+    assert expected is not None
+    assert sum(expected.term(t) for t in TERMS) == pytest.approx(
+        expected.iteration_time
+    )
+
+
+def test_decompose_flags_the_drifting_term():
+    hub, _ = _hub_with_iterations(n_clean=4, n_slow=4)
+    view = TelemetryView.from_hub(hub)
+    rows = decompose(extract_expectation(view), extract_iterations(view))
+    assert len(rows) == 8
+    for row in rows[:4]:
+        assert row.fraction == pytest.approx(0.0, abs=1e-9)
+    for row in rows[4:]:
+        assert row.dominant_term == "pipeline"
+        assert row.fraction > 0.05
+    windows = residual_windows(rows)
+    assert len(windows) == 1 and windows[0].term == "pipeline"
+    assert windows[0].steps == (4, 5, 6, 7)
+    assert plan_change_windows(rows) == []
+
+
+def test_plan_change_rows_are_excluded_from_attribution():
+    hub = TelemetryHub()
+    plan = ParallelPlan(dp=2, tp=2, pp=4, vpp=1)
+    engine = IterationEngine(GPT_13B, plan, MEGASCALE_ISO_BATCH)
+    shrunk = IterationEngine(GPT_13B, plan.with_options(dp=1), MEGASCALE_ISO_BATCH)
+    emit_expectation(hub, engine, 32)
+    clock = 0.0
+    for step in range(6):
+        active = engine if step < 3 else shrunk
+        iteration = active.simulate(32)
+        emit_iteration(hub, active, 32, step, clock, iteration)
+        clock += iteration.iteration_time
+    view = TelemetryView.from_hub(hub)
+    rows = decompose(extract_expectation(view), extract_iterations(view))
+    assert [r.plan_changed for r in rows] == [False] * 3 + [True] * 3
+    # The (huge) residual of the shrunk steps must not become a window...
+    assert residual_windows(rows) == []
+    # ...but the plan change itself must.
+    (window,) = plan_change_windows(rows)
+    assert window.steps == (3, 4, 5)

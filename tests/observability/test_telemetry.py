@@ -63,6 +63,55 @@ def test_digest_percentiles():
         digest.percentile(1.5)
 
 
+def test_digest_extremes_are_exact_after_compression():
+    # With 1000 distinct values the sketch compresses; the edge centroids
+    # become weighted means, so only the tracked min/max are exact.
+    digest = PercentileDigest(max_centroids=16)
+    for v in range(1000):
+        digest.observe(float(v))
+    assert digest.percentile(0.0) == 0.0
+    assert digest.percentile(1.0) == 999.0
+    # Interior quantiles are clamped into [min, max].
+    for q in (0.01, 0.5, 0.99):
+        assert 0.0 <= digest.percentile(q) <= 999.0
+
+
+def test_digest_empty_and_single_value():
+    digest = PercentileDigest()
+    assert digest.percentile(0.5) == 0.0
+    digest.observe(42.0)
+    assert digest.percentile(0.0) == 42.0
+    assert digest.percentile(0.5) == 42.0
+    assert digest.percentile(1.0) == 42.0
+
+
+def test_gauge_records_carry_the_full_series():
+    metrics = MetricsRegistry()
+    for t in range(5):
+        metrics.sample("mfu", float(t), 0.5 + 0.01 * t, rank=0)
+    (record,) = metrics.records()
+    assert record["kind"] == "gauge"
+    assert record["samples"] == 5
+    assert record["series"] == [[float(t), 0.5 + 0.01 * t] for t in range(5)]
+
+
+def test_metrics_lines_round_trip_the_series(tmp_path):
+    from repro.observability.export import (
+        gauge_series_from_records,
+        load_metrics_records,
+    )
+
+    hub = TelemetryHub()
+    for t in range(4):
+        hub.sample("training", "mfu", float(t), 0.4 + 0.1 * t, rank=t % 2)
+    path = tmp_path / "session.json"
+    _, metrics_path = hub.save(str(path))
+    records = load_metrics_records(metrics_path)
+    series = gauge_series_from_records(records)
+    # Per-rank label sets merge into one time-sorted stream per name.
+    assert series["training.mfu"] == [(float(t), 0.4 + 0.1 * t) for t in range(4)]
+
+
 def test_digest_compresses_deterministically():
     a, b = PercentileDigest(max_centroids=16), PercentileDigest(max_centroids=16)
     for v in range(1000):
@@ -173,8 +222,19 @@ def test_training_runner_emits_spans_and_gauges():
     )
     result = runner.run(3, hub=hub)
     spans = hub.session.spans("training")
-    assert {s.name for s in spans} == {"forward", "backward", "reduce_scatter", "optimizer"}
-    assert len(spans) == 3 * runner.plan.pp * 4
+    assert {s.name for s in spans} == {
+        "expectation", "iteration", "forward", "backward",
+        "reduce_scatter", "optimizer",
+    }
+    # 1 expectation + per-step (1 iteration + pp stages x 4 segments).
+    assert len(spans) == 1 + 3 * (1 + runner.plan.pp * 4)
+    (expectation,) = [s for s in spans if s.name == "expectation"]
+    iteration_spans = [s for s in spans if s.name == "iteration"]
+    assert len(iteration_spans) == 3
+    for span in iteration_spans:
+        terms = [span.attr(k) for k in ("pipeline", "data_stall", "dp_exposed", "optimizer", "perturbation")]
+        assert span.attr("iteration_time") == pytest.approx(sum(terms))
+    assert expectation.attr("dp") == runner.plan.dp
     mfu = hub.metrics.gauge_series("training.mfu", rank=0)
     assert [v for _, v in mfu] == result.mfu_series
     # Spans lie on an absolute clock: step 1 starts after step 0's iteration.
