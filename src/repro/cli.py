@@ -7,6 +7,8 @@ Commands mirror the paper's experiments:
 * ``ablation`` — the Table 3 ladder
 * ``init`` — the §3.5 group-initialization sequence
 * ``production`` — a fault-injected multi-week run (Figure 11)
+* ``mc`` — a Monte Carlo resilience campaign: hundreds of seeded chaos
+  or scheduler runs reduced to deterministic distributions
 * ``tune`` — auto-tune the 3D parallelism for a model + GPU count
 * ``trace`` — inspect/render a saved telemetry trace document
 * ``diagnose`` — root-cause attribution over a saved trace or scenario
@@ -336,6 +338,48 @@ def cmd_tune(args) -> int:
     return 0
 
 
+def cmd_mc(args) -> int:
+    import time
+
+    from .montecarlo import CampaignSpec, run_campaign
+
+    cache = None
+    if args.cache_dir:
+        import os
+
+        from .exec import PersistentMemo
+
+        cache = PersistentMemo(os.path.join(args.cache_dir, "mc-campaign.pkl"))
+    spec = CampaignSpec(n_nodes=args.nodes, policy=args.policy)
+    started = time.perf_counter()
+    result = run_campaign(
+        scenario=args.scenario,
+        seeds=range(args.seeds),
+        weeks=args.weeks,
+        workers=args.workers,
+        sampler=args.sampler,
+        reference=args.reference,
+        spec=spec,
+        cache=cache,
+    )
+    elapsed = time.perf_counter() - started
+    print(result.describe())
+    print()
+    mode = "serial" if args.workers == 0 else f"{args.workers} workers"
+    path = "reference" if args.reference else "optimized"
+    print(f"{args.seeds} seeds in {elapsed:.2f}s ({mode}, {path} path)")
+    if result.stats is not None and result.stats.persistent_hits:
+        print(f"{result.stats.persistent_hits} seeds served from the persistent cache")
+    if cache is not None:
+        cache.flush()
+        print(f"persistent cache: {len(cache)} seed results at {cache.path}")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json())
+        print(f"campaign JSON: {args.out}")
+    return 0
+
+
 def cmd_validate(args) -> int:
     from .network.validation import validation_report
 
@@ -421,6 +465,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit scheduler decisions + goodput gauge on the "
                         "'scheduler' telemetry lane as a unified trace")
     p.set_defaults(func=cmd_schedule)
+
+    p = sub.add_parser(
+        "mc",
+        help="Monte Carlo resilience campaign: many-seed chaos/scheduler "
+             "distributions with bootstrap CIs",
+    )
+    p.add_argument("--scenario", choices=["chaos", "scheduler"], default="chaos",
+                   help="what each seed simulates: a correlated-fault "
+                        "production run (default) or a multi-tenant "
+                        "arbitration run")
+    p.add_argument("--seeds", type=int, default=256,
+                   help="number of seeds (0..N-1) to simulate (default 256)")
+    p.add_argument("--weeks", type=float, default=1.0,
+                   help="simulated horizon per seed in weeks (default 1)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes fanning out seeds (0 = serial; "
+                        "results are byte-identical either way)")
+    p.add_argument("--nodes", type=int, default=512,
+                   help="chaos-campaign cluster size in nodes (default 512)")
+    p.add_argument("--policy", choices=["priority", "fifo"], default="priority",
+                   help="scheduler-campaign arbitration policy")
+    p.add_argument("--sampler", choices=["auto", "vectorized", "reference"],
+                   default="auto",
+                   help="fault sampler: batched numpy draws (auto/vectorized) "
+                        "or the per-event oracle loop (reference); both "
+                        "produce identical events per seed")
+    p.add_argument("--reference", action="store_true",
+                   help="run the naive baseline end to end: per-event "
+                        "sampling and per-seed fixture rebuilds (what the "
+                        "benchmark compares against)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persist per-seed results across runs in "
+                        "DIR/mc-campaign.pkl (versioned, safe to delete)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the deterministic campaign JSON here")
+    p.set_defaults(func=cmd_mc)
 
     p = sub.add_parser("trace", help="inspect/render a saved telemetry trace")
     p.add_argument("path", help="trace JSON written by --trace")

@@ -175,9 +175,13 @@ class DomainTopology:
 class CorrelatedFaultInjector(FaultInjector):
     """Samples independent node faults *and* correlated domain faults.
 
-    Both streams draw from the one seeded generator in a fixed order
+    All streams draw from the one seeded generator in a fixed order
     (node catalog first, then each domain in declaration order), so the
-    merged event list is a deterministic function of the seed.
+    merged event list is a deterministic function of the seed.  Each
+    stream is sampled count-first (see :class:`FaultInjector`): the
+    vectorized path batches every domain's times and indices into one
+    numpy draw per phase, and the per-event reference loop consumes the
+    identical generator stream, so both return identical events.
     """
 
     def __init__(
@@ -188,8 +192,15 @@ class CorrelatedFaultInjector(FaultInjector):
         rng: Optional[np.random.Generator] = None,
         catalog: Optional[List[FaultKind]] = None,
         rate_multiplier: float = 1.0,
+        sampler: str = "auto",
     ) -> None:
-        super().__init__(n_nodes, rng=rng, catalog=catalog, rate_multiplier=rate_multiplier)
+        super().__init__(
+            n_nodes,
+            rng=rng,
+            catalog=catalog,
+            rate_multiplier=rate_multiplier,
+            sampler=sampler,
+        )
         self.topology = topology or DomainTopology(n_nodes=n_nodes)
         if self.topology.n_nodes != n_nodes:
             raise ValueError("topology size must match n_nodes")
@@ -203,27 +214,35 @@ class CorrelatedFaultInjector(FaultInjector):
         base = super().cluster_rate_per_second()
         return base + sum(self.domain_rate_per_second(d) for d in self.domains)
 
-    def sample(self, horizon: float) -> List[FaultEvent]:
-        events = super().sample(horizon)
+    def _domain_event(self, domain: FaultDomain, t: float, index: int) -> FaultEvent:
+        group = self.topology.group_for(domain.scope, index)
+        return FaultEvent(
+            time=t,
+            kind=domain.kind,
+            node_index=group[0],
+            node_indices=tuple(group),
+            domain=f"{domain.scope}{index}",
+        )
+
+    def _extra_events(self, horizon: float, vectorized: bool) -> List[FaultEvent]:
+        events: List[FaultEvent] = []
         for domain in self.domains:
             rate = self.domain_rate_per_second(domain)
             if rate <= 0:
                 continue
-            t = 0.0
-            while True:
-                t += float(self.rng.exponential(1.0 / rate))
-                if t >= horizon:
-                    break
-                index = int(self.rng.integers(0, self.topology.n_domains(domain.scope)))
-                group = self.topology.group_for(domain.scope, index)
-                events.append(
-                    FaultEvent(
-                        time=t,
-                        kind=domain.kind,
-                        node_index=group[0],
-                        node_indices=tuple(group),
-                        domain=f"{domain.scope}{index}",
-                    )
+            n_domains = self.topology.n_domains(domain.scope)
+            n = int(self.rng.poisson(rate * horizon))
+            if vectorized:
+                times = horizon * self.rng.random(n)
+                indices = self.rng.integers(0, n_domains, size=n)
+                events.extend(
+                    self._domain_event(domain, float(times[i]), int(indices[i]))
+                    for i in range(n)
                 )
-        events.sort(key=lambda e: (e.time, e.kind.name, e.node_index))
+            else:
+                times = [horizon * float(self.rng.random()) for _ in range(n)]
+                indices = [int(self.rng.integers(0, n_domains)) for _ in range(n)]
+                events.extend(
+                    self._domain_event(domain, times[i], indices[i]) for i in range(n)
+                )
         return events

@@ -78,6 +78,10 @@ class RobustTrainingDriver:
     recoveries: int = 0
     shrunk: List[int] = field(default_factory=list)  # dropped without replacement
     hub: Optional[object] = None  # optional TelemetryHub ("fault" lane)
+    # node_id -> Executor index, maintained through replacement/shedding so
+    # recovery resolves faulty nodes in O(1) instead of scanning the fleet
+    # once per faulty node (O(faulty x executors) on correlated blasts).
+    _executor_by_node: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.channel is None:
@@ -93,6 +97,7 @@ class RobustTrainingDriver:
                 heartbeat_interval=self.heartbeat_interval,
             )
             executor.start()
+            self._executor_by_node[node.node_id] = len(self.executors)
             self.executors.append(executor)
             self.histories[node.node_id] = HeartbeatHistory(node_id=node.node_id)
         self.state = "running"
@@ -125,7 +130,8 @@ class RobustTrainingDriver:
         faulty = self.diagnostics.find_faulty(self.cluster.nodes)
         evicted = []
         for node in faulty:
-            executor = next(e for e in self.executors if e.node is node)
+            slot = self._executor_by_node[node.node_id]
+            executor = self.executors[slot]
             executor.stop()
             try:
                 replacement = self.kubernetes.block_and_replace(node.node_id)
@@ -135,11 +141,16 @@ class RobustTrainingDriver:
                 # deliberately propagates instead of being absorbed here.)
                 self.kubernetes.block_and_drop(node.node_id)
                 del self.histories[node.node_id]
-                self.executors.remove(executor)
+                del self._executor_by_node[node.node_id]
+                self.executors.pop(slot)
+                for node_id, index in self._executor_by_node.items():
+                    if index > slot:
+                        self._executor_by_node[node_id] = index - 1
                 self.shrunk.append(node.node_id)
                 evicted.append(node.node_id)
                 continue
             del self.histories[node.node_id]
+            del self._executor_by_node[node.node_id]
             new_exec = Executor(
                 sim=self.sim,
                 node=replacement,
@@ -147,7 +158,8 @@ class RobustTrainingDriver:
                 heartbeat_interval=self.heartbeat_interval,
             )
             new_exec.start()
-            self.executors[self.executors.index(executor)] = new_exec
+            self.executors[slot] = new_exec
+            self._executor_by_node[replacement.node_id] = slot
             self.histories[replacement.node_id] = HeartbeatHistory(node_id=replacement.node_id)
             evicted.append(node.node_id)
         self.recoveries += 1

@@ -21,7 +21,7 @@ from ..hardware.gpu import GpuSpec
 from ..model.transformer import ModelSpec
 from ..parallel.plan import ParallelPlan
 from ..parallel.tuner import feasible as plan_feasible
-from ..parallel.tuner import shrink_dp_plans
+from ..parallel.tuner import iter_shrink_dp_plans
 
 
 @dataclass(frozen=True)
@@ -81,7 +81,7 @@ class ElasticReplanner:
         """
         if available_gpus >= plan.world_size:
             raise ValueError("no shrink needed: plan already fits the available GPUs")
-        for candidate in shrink_dp_plans(plan, available_gpus):
+        for candidate in iter_shrink_dp_plans(plan, available_gpus):
             if self._acceptable(candidate):
                 return ElasticDecision(
                     old_plan=plan, new_plan=candidate, available_gpus=available_gpus

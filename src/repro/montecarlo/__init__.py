@@ -1,0 +1,36 @@
+"""Monte Carlo resilience campaigns: many-seed chaos distributions.
+
+``run_campaign`` fans hundreds of seeded chaos or scheduler simulations
+over process pools, streams per-seed metrics into mergeable percentile
+sketches, and reduces them to a deterministic :class:`CampaignResult`
+with bootstrap confidence intervals.  See :mod:`repro.montecarlo.engine`
+for the layer-by-layer design and the determinism contract.
+"""
+
+from .engine import (
+    SCENARIOS,
+    CampaignSpec,
+    SeedTask,
+    run_campaign,
+)
+from .result import (
+    BOOTSTRAP_RESAMPLES,
+    BOOTSTRAP_SEED,
+    CampaignResult,
+    DigestSummary,
+    MetricSummary,
+    bootstrap_ci,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "CampaignSpec",
+    "SeedTask",
+    "run_campaign",
+    "BOOTSTRAP_RESAMPLES",
+    "BOOTSTRAP_SEED",
+    "CampaignResult",
+    "DigestSummary",
+    "MetricSummary",
+    "bootstrap_ci",
+]

@@ -110,6 +110,32 @@ class PercentileDigest:
             merged.append([(a[0] * a[1] + b[0] * b[1]) / w, w])
         self._centroids = merged
 
+    def merge(self, other: "PercentileDigest") -> "PercentileDigest":
+        """Fold ``other``'s observations into this digest (returns self).
+
+        ``count``/``total``/``min``/``max`` stay exact, so ``mean`` and the
+        q=0/q=1 extremes survive any merge tree unchanged.  Centroids are
+        re-sorted by (value, weight) before compression, so A.merge(B)
+        and B.merge(A) produce identical sketches — merge is commutative
+        and, up to compression tolerance on interior quantiles,
+        associative.  ``other`` is never mutated; merging an empty digest
+        is the identity.  The merged digest keeps ``self.max_centroids``.
+        """
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        # Copy the incoming centroid pairs: digests must not share the
+        # (mutable) [value, weight] cells after a merge.
+        self._centroids = sorted(
+            self._centroids + [[value, weight] for value, weight in other._centroids]
+        )
+        while len(self._centroids) > self.max_centroids:
+            self._compress()
+        return self
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -1,0 +1,121 @@
+"""PercentileDigest.merge: the streaming-aggregation contract."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.observability.telemetry import PercentileDigest
+
+
+def _digest(values, max_centroids=256):
+    digest = PercentileDigest(max_centroids=max_centroids)
+    for value in values:
+        digest.observe(value)
+    return digest
+
+
+def test_merge_empty_is_identity_both_ways():
+    digest = _digest([1.0, 2.0, 3.0])
+    before = (digest.count, digest.total, digest.min, digest.max,
+              [list(c) for c in digest._centroids])
+    digest.merge(PercentileDigest())
+    assert (digest.count, digest.total, digest.min, digest.max,
+            [list(c) for c in digest._centroids]) == before
+
+    empty = PercentileDigest()
+    empty.merge(digest)
+    assert empty.count == digest.count
+    assert empty.percentile(0.5) == digest.percentile(0.5)
+
+
+def test_merge_returns_self_and_leaves_other_untouched():
+    a, b = _digest([1.0, 2.0]), _digest([3.0, 4.0])
+    other_before = [list(c) for c in b._centroids]
+    assert a.merge(b) is a
+    assert [list(c) for c in b._centroids] == other_before
+    assert b.count == 2
+
+
+def test_merge_does_not_share_centroid_cells():
+    a, b = _digest([1.0]), _digest([2.0])
+    a.merge(b)
+    a._centroids[0][0] = 99.0
+    a._centroids[1][0] = 99.0
+    assert b._centroids == [[2.0, 1.0]]
+
+
+def test_merge_count_total_min_max_exact_under_compression():
+    rng = np.random.default_rng(0)
+    parts = [rng.exponential(100.0, size=400) for _ in range(5)]
+    merged = PercentileDigest(max_centroids=32)
+    for part in parts:
+        merged.merge(_digest(part, max_centroids=32))
+    flat = np.concatenate(parts)
+    assert merged.count == flat.size
+    assert np.isclose(merged.total, flat.sum())
+    assert merged.min == flat.min()
+    assert merged.max == flat.max()
+    assert merged.percentile(0.0) == flat.min()  # q=0/1 exact after merge
+    assert merged.percentile(1.0) == flat.max()
+    assert len(merged._centroids) <= 32
+
+
+def test_merge_tracks_single_stream_percentiles():
+    rng = np.random.default_rng(1)
+    parts = [rng.normal(50.0, 10.0, size=300) for _ in range(4)]
+    merged = PercentileDigest(max_centroids=64)
+    for part in parts:
+        merged.merge(_digest(part, max_centroids=64))
+    single = _digest(np.concatenate(parts), max_centroids=64)
+    for q, tolerance in ((0.1, 2.0), (0.5, 2.0), (0.9, 2.0), (0.99, 6.0)):
+        exact = np.quantile(np.concatenate(parts), q)
+        assert abs(merged.percentile(q) - exact) < tolerance
+        assert abs(merged.percentile(q) - single.percentile(q)) < tolerance
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    parts=st.lists(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0,
+            max_size=50,
+        ),
+        min_size=2,
+        max_size=5,
+    ),
+    order_seed=st.integers(min_value=0, max_value=1000),
+)
+def test_merge_order_does_not_change_results_property(parts, order_seed):
+    """Any merge order agrees exactly on the exact stats and within
+    compression tolerance on interior quantiles."""
+    forward = PercentileDigest(max_centroids=32)
+    for part in parts:
+        forward.merge(_digest(part, max_centroids=32))
+    shuffled = list(parts)
+    np.random.default_rng(order_seed).shuffle(shuffled)
+    reordered = PercentileDigest(max_centroids=32)
+    for part in shuffled:
+        reordered.merge(_digest(part, max_centroids=32))
+
+    assert forward.count == reordered.count
+    flat = [v for part in parts for v in part]
+    if not flat:
+        return
+    assert forward.min == reordered.min == min(flat)
+    assert forward.max == reordered.max == max(flat)
+    assert np.isclose(forward.total, reordered.total)
+    spread = max(flat) - min(flat)
+    for q in (0.25, 0.5, 0.75):
+        assert abs(forward.percentile(q) - reordered.percentile(q)) <= spread + 1e-9
+
+
+def test_merge_commutes_exactly_for_uncompressed_digests():
+    a1, b1 = _digest([1.0, 5.0, 9.0]), _digest([2.0, 4.0])
+    a2, b2 = _digest([1.0, 5.0, 9.0]), _digest([2.0, 4.0])
+    a1.merge(b1)
+    b2.merge(a2)
+    assert a1._centroids == b2._centroids
+    for q in (0.0, 0.3, 0.5, 0.8, 1.0):
+        assert a1.percentile(q) == b2.percentile(q)
