@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Benchmark the calibration harness: fit cost + residual quality.
+
+Times a bounded synthetic fit (known-constants round trip, so the
+recovered error is checkable), then prices every committed fixture
+anchor under the committed profile (falling back to catalog constants
+when no profile is committed) and records per-source maximum residuals.
+Exits non-zero when the synthetic fit fails to recover its constants or
+when a must-match anchor misses its tolerance — which is what the CI
+``calibration-smoke`` job asserts.
+
+Results land in ``BENCH_calibration.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/bench_calibration.py           # full set
+    PYTHONPATH=src python benchmarks/bench_calibration.py --small   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_calibration.py -o out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+import time
+
+from repro.calibration import (
+    CalibratedProfile,
+    calibration_report,
+    default_fixture_dir,
+    fit_profile,
+    load_anchors,
+    predict_anchor,
+)
+from repro.calibration.fixtures import Anchor
+from repro.exec.memo import clear_caches
+from repro.model import ModelSpec
+from repro.parallel import ParallelPlan
+
+TINY_A = ModelSpec(name="bench-cal-a", n_layers=4, hidden_size=512, n_heads=8)
+TINY_B = ModelSpec(name="bench-cal-b", n_layers=8, hidden_size=1024, n_heads=16)
+
+
+def synthetic_anchors(profile):
+    """Anchors whose 'published' values are the simulator's own output
+    under a known profile — fitting must recover that profile."""
+    shapes = [
+        (TINY_A, 1, 1, 2, 8),
+        (TINY_A, 2, 1, 4, 8),
+        (TINY_B, 1, 2, 4, 8),
+        (TINY_B, 2, 2, 8, 16),
+    ]
+    anchors = []
+    for model, tp, pp, n_gpus, batch in shapes:
+        probe = Anchor(
+            id=f"synthetic/{model.name}-{n_gpus}/iteration_time",
+            source="synthetic",
+            system="plain",
+            model=model,
+            plan=ParallelPlan(dp=n_gpus // (tp * pp), tp=tp, pp=pp),
+            n_gpus=n_gpus,
+            global_batch=batch,
+            metric="iteration_time",
+            published=1.0,
+            tolerance=0.1,
+            fit=True,
+            must_match=False,
+            provenance="synthetic fixture for benchmark round-trip",
+        )
+        truth = predict_anchor(probe, profile=profile).predicted
+        anchors.append(dataclasses.replace(probe, published=truth))
+    return anchors
+
+
+def bench_synthetic_fit(max_evals):
+    """Round-trip fit on simulator-generated data with known constants."""
+    truth = CalibratedProfile(gemm_eff_max=0.65, gemm_flops_half=45e9)
+    anchors = synthetic_anchors(truth)
+    clear_caches()
+    t0 = time.perf_counter()
+    result = fit_profile(
+        anchors, params=("gemm_eff_max", "gemm_flops_half"), max_evals=max_evals
+    )
+    elapsed = time.perf_counter() - t0
+    recovered_ok = (
+        abs(result.profile.gemm_eff_max - 0.65) / 0.65 < 0.05
+        and result.max_abs_residual < 0.01
+    )
+    return {
+        "anchors": len(anchors),
+        "max_evals": max_evals,
+        "objective_evals": result.n_evals,
+        "fit_wall_clock_s": round(elapsed, 4),
+        "objective": result.objective,
+        "max_abs_residual": round(result.max_abs_residual, 6),
+        "recovered_known_constants": recovered_ok,
+    }
+
+
+def bench_fixture_report(small):
+    """Residuals of every committed anchor under the committed profile."""
+    anchors = load_anchors()
+    if small:
+        # keep the heavyweight task graphs (530B weak scaling, SC21 1T)
+        # out of the CI smoke lane
+        anchors = [a for a in anchors if a.fit]
+    profile_path = os.path.join(default_fixture_dir(), "profile.json")
+    profile = (
+        CalibratedProfile.load(profile_path) if os.path.exists(profile_path) else None
+    )
+    clear_caches()
+    t0 = time.perf_counter()
+    report = calibration_report(anchors, profile=profile)
+    elapsed = time.perf_counter() - t0
+    per_source = {}
+    for row in report.rows:
+        worst = per_source.get(row.source, 0.0)
+        per_source[row.source] = max(worst, abs(row.rel_error))
+    return {
+        "anchors": len(report.rows),
+        "calibrated": profile is not None,
+        "report_wall_clock_s": round(elapsed, 4),
+        "max_abs_rel_error": round(report.max_abs_rel_error, 6),
+        "max_abs_rel_error_by_source": {
+            source: round(err, 6) for source, err in sorted(per_source.items())
+        },
+        "must_match_failures": [r.anchor_id for r in report.failures],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--small", action="store_true", help="CI smoke subset (fit anchors only)"
+    )
+    parser.add_argument("-o", "--output", default="BENCH_calibration.json")
+    args = parser.parse_args(argv)
+
+    fit_row = bench_synthetic_fit(max_evals=60 if args.small else 150)
+    print(
+        f"synthetic fit: {fit_row['objective_evals']} evals in "
+        f"{fit_row['fit_wall_clock_s']:.2f}s, max residual "
+        f"{fit_row['max_abs_residual']:.2%}, "
+        f"recovered={'ok' if fit_row['recovered_known_constants'] else 'FAIL'}"
+    )
+    report_row = bench_fixture_report(args.small)
+    print(
+        f"fixture report: {report_row['anchors']} anchors in "
+        f"{report_row['report_wall_clock_s']:.2f}s, max |rel err| "
+        f"{report_row['max_abs_rel_error']:.1%} "
+        f"(calibrated={report_row['calibrated']})"
+    )
+
+    doc = {
+        "benchmark": "calibration fit + residuals",
+        "synthetic_fit": fit_row,
+        "fixture_report": report_row,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+
+    if not fit_row["recovered_known_constants"]:
+        print("FAIL: synthetic fit did not recover known constants", file=sys.stderr)
+        return 1
+    if report_row["must_match_failures"]:
+        print(
+            f"FAIL: must-match anchors off tolerance: "
+            f"{report_row['must_match_failures']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -401,6 +401,71 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_calibrate(args) -> int:
+    import json
+    import os
+
+    from .calibration import (
+        CalibratedProfile,
+        calibration_report,
+        check_drift,
+        default_fixture_dir,
+        fit_profile,
+        load_anchors,
+    )
+
+    fixture_dir = args.fixtures or default_fixture_dir()
+    anchors = load_anchors(fixture_dir)
+    profile_path = args.profile or os.path.join(fixture_dir, "profile.json")
+
+    if args.fit:
+        result = fit_profile(anchors, max_evals=args.max_evals)
+        profile = result.profile
+        print(
+            f"fit: objective {result.initial_objective:.4f} -> {result.objective:.4f} "
+            f"in {result.n_evals} evaluations (max |residual| "
+            f"{result.max_abs_residual:.1%} over {len(result.residuals)} fit anchors)"
+        )
+        if args.save_profile:
+            profile.save(profile_path)
+            print(f"profile saved to {profile_path}")
+    elif os.path.exists(profile_path):
+        profile = CalibratedProfile.load(profile_path)
+    else:
+        profile = None
+        print("no committed profile; reporting at catalog constants")
+
+    report = calibration_report(anchors, profile=profile, workers=args.workers)
+    print(report.describe())
+    if args.report:
+        report.save(args.report)
+        print(f"residual report saved to {args.report}")
+
+    status = 0
+    if args.check:
+        baseline_path = args.baseline or os.path.join(fixture_dir, "baseline_report.json")
+        if not os.path.exists(baseline_path):
+            print(f"FAIL: no baseline report at {baseline_path}")
+            return 1
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        violations = check_drift(report, baseline, drift_tolerance=args.drift_tolerance)
+        for violation in violations:
+            print(f"FAIL: {violation.describe()}")
+        if violations:
+            status = 1
+        else:
+            print(
+                f"drift gate passed: {len(report.rows)} anchors within "
+                f"±{args.drift_tolerance:.1%} of baseline"
+            )
+    if args.save_baseline:
+        baseline_path = args.baseline or os.path.join(fixture_dir, "baseline_report.json")
+        report.save(baseline_path)
+        print(f"baseline saved to {baseline_path}")
+    return status
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -572,6 +637,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write search telemetry (spans/counters on the exec lane) "
                         "as a unified trace + .metrics.jsonl sidecar")
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "calibrate",
+        help="fit/check cost models against published profiles (SC21 + NSDI24)",
+    )
+    p.add_argument("--fixtures", metavar="DIR",
+                   help="fixture directory (default: data/calibration/)")
+    p.add_argument("--profile", metavar="PATH",
+                   help="calibrated profile JSON to load or save "
+                        "(default: <fixtures>/profile.json)")
+    p.add_argument("--fit", action="store_true",
+                   help="refit the profile against the fit=true anchors "
+                        "(minutes; CI loads the committed profile instead)")
+    p.add_argument("--max-evals", type=int, default=120,
+                   help="objective-evaluation budget for the fit")
+    p.add_argument("--save-profile", action="store_true",
+                   help="with --fit: write the fitted profile to --profile")
+    p.add_argument("--report", metavar="PATH",
+                   help="write the deterministic per-anchor residual report JSON")
+    p.add_argument("--check", action="store_true",
+                   help="gate on prediction drift vs the committed baseline "
+                        "(exit 1 on violation)")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="baseline report for --check/--save-baseline "
+                        "(default: <fixtures>/baseline_report.json)")
+    p.add_argument("--save-baseline", action="store_true",
+                   help="overwrite the committed baseline with this report")
+    p.add_argument("--drift-tolerance", type=float, default=0.02,
+                   help="relative prediction drift allowed vs baseline")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes for anchor prediction (0 = serial)")
+    p.set_defaults(func=cmd_calibrate)
 
     return parser
 

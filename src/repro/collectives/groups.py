@@ -68,6 +68,7 @@ class GroupCommModel:
     placement: Optional[Placement] = None
     node_spec: Optional[NodeSpec] = None
     cc_efficiency: float = DEFAULT_CC_EFFICIENCY
+    inter_node_latency: float = INTER_NODE_LATENCY
     backend: str = "analytic"
 
     def __post_init__(self) -> None:
@@ -75,6 +76,8 @@ class GroupCommModel:
             self.node_spec = NodeSpec()
         if not 0 < self.cc_efficiency <= 1:
             raise ValueError("cc_efficiency must be in (0, 1]")
+        if self.inter_node_latency < 0:
+            raise ValueError("inter_node_latency must be non-negative")
         validate_backend(self.backend)
         self._nic_rate = self.node_spec.nic_spec.line_rate
         self._conflict_factor = cross_pod_conflict_factor()
@@ -133,10 +136,10 @@ class GroupCommModel:
             ).time
         bandwidth = self.ring_bandwidth(ranks)
         if kind == "all_gather":
-            return ring_all_gather(size, n, bandwidth, INTER_NODE_LATENCY)
+            return ring_all_gather(size, n, bandwidth, self.inter_node_latency)
         if kind == "reduce_scatter":
-            return ring_reduce_scatter(size, n, bandwidth, INTER_NODE_LATENCY)
-        return ring_all_reduce(size, n, bandwidth, INTER_NODE_LATENCY)
+            return ring_reduce_scatter(size, n, bandwidth, self.inter_node_latency)
+        return ring_all_reduce(size, n, bandwidth, self.inter_node_latency)
 
     # -- PP point-to-point -------------------------------------------------------
 
@@ -148,7 +151,7 @@ class GroupCommModel:
         if self._fabric_model is not None and node_a != node_b:
             return self._fabric_model.p2p_time(size, node_a, node_b, flow_id=src_rank)
         bandwidth = self._pair_bandwidth(src_rank, dst_rank)
-        return point_to_point(size, bandwidth, INTER_NODE_LATENCY)
+        return point_to_point(size, bandwidth, self.inter_node_latency)
 
     # -- diagnostics -------------------------------------------------------------
 
@@ -166,6 +169,7 @@ def build_comm_model(
     nodes_per_pod: int = 64,
     node_spec: Optional[NodeSpec] = None,
     cc_efficiency: float = DEFAULT_CC_EFFICIENCY,
+    inter_node_latency: float = INTER_NODE_LATENCY,
     backend: str = "analytic",
 ) -> GroupCommModel:
     """Convenience constructor: build a right-sized fabric for the plan.
@@ -183,5 +187,6 @@ def build_comm_model(
         fabric=fabric,
         node_spec=node_spec,
         cc_efficiency=cc_efficiency,
+        inter_node_latency=inter_node_latency,
         backend=backend,
     )

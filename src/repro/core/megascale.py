@@ -32,6 +32,9 @@ class TrainingSystem:
 
     ``backend`` selects the collective cost model for every engine the
     system builds (see :data:`~repro.collectives.primitives.COST_BACKENDS`).
+    ``profile`` is an optional
+    :class:`~repro.calibration.CalibratedProfile` whose fitted constants
+    override the GPU/collective catalog values in every engine built.
     """
 
     name: str
@@ -40,15 +43,16 @@ class TrainingSystem:
     straggler_fraction: float = 0.005
     straggler_slowdown: float = 0.90
     backend: str = "analytic"
+    profile: Optional[object] = None
     _engines: dict = field(default_factory=dict, repr=False)
 
     def _engine(self, job: TrainingJob) -> IterationEngine:
-        # Key on the full (model, plan, gpu, backend) identity.  The
-        # engine's timings depend on every plan field (zero_stage,
-        # recompute, sequence_parallel, ...) and on the GPU spec, so a
-        # narrower key would hand back a stale engine for jobs differing
-        # only there.
-        key = (job.model_spec, job.plan(), job.gpu_spec, self.backend)
+        # Key on the full (model, plan, gpu, backend, profile) identity.
+        # The engine's timings depend on every plan field (zero_stage,
+        # recompute, sequence_parallel, ...), on the GPU spec and on the
+        # calibration overrides, so a narrower key would hand back a
+        # stale engine for jobs differing only there.
+        key = (job.model_spec, job.plan(), job.gpu_spec, self.backend, self.profile)
         engine = self._engines.get(key)
         if engine is None:
             engine = IterationEngine(
@@ -57,6 +61,7 @@ class TrainingSystem:
                 self.features,
                 gpu=job.gpu_spec,
                 backend=self.backend,
+                profile=self.profile,
             )
             self._engines[key] = engine
         return engine
@@ -86,7 +91,9 @@ class TrainingSystem:
 
 
 def megascale(
-    features: Optional[FeatureSet] = None, backend: str = "analytic"
+    features: Optional[FeatureSet] = None,
+    backend: str = "analytic",
+    profile: Optional[object] = None,
 ) -> TrainingSystem:
     """The full MegaScale stack (straggler eviction on)."""
     return TrainingSystem(
@@ -94,11 +101,14 @@ def megascale(
         features=features or MEGASCALE_ISO_BATCH,
         evicts_stragglers=True,
         backend=backend,
+        profile=profile,
     )
 
 
 def megatron_lm(
-    features: Optional[FeatureSet] = None, backend: str = "analytic"
+    features: Optional[FeatureSet] = None,
+    backend: str = "analytic",
+    profile: Optional[object] = None,
 ) -> TrainingSystem:
     """The Megatron-LM baseline (no overlap features, no eviction)."""
     return TrainingSystem(
@@ -106,12 +116,15 @@ def megatron_lm(
         features=features or MEGATRON_LM,
         evicts_stragglers=False,
         backend=backend,
+        profile=profile,
     )
 
 
-def compare(job: TrainingJob, backend: str = "analytic") -> Comparison:
+def compare(
+    job: TrainingJob, backend: str = "analytic", profile: Optional[object] = None
+) -> Comparison:
     """MegaScale vs Megatron-LM on the same job (a Table 2 cell pair)."""
     return Comparison(
-        megascale=megascale(backend=backend).run(job),
-        baseline=megatron_lm(backend=backend).run(job),
+        megascale=megascale(backend=backend, profile=profile).run(job),
+        baseline=megatron_lm(backend=backend, profile=profile).run(job),
     )

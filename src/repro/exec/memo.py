@@ -204,6 +204,8 @@ def reset_caches() -> None:
 # versions every persistent cache.  Import-name strings (not module
 # objects) keep this module dependency-free within repro.
 _COST_MODEL_MODULES = (
+    "repro.hardware.gpu",
+    "repro.hardware.nic",
     "repro.model.blocks",
     "repro.model.flops",
     "repro.model.memory",

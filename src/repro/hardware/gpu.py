@@ -11,8 +11,12 @@ than large square ones.  We model this with a saturating curve
     eff(f) = eff_max * f / (f + f_half)
 
 where ``f`` is the FLOPs of a single kernel on one GPU and ``f_half`` the
-work at which half of ``eff_max`` is reached.  The constants are calibrated
-against the paper's 256-GPU anchor (see DESIGN.md, "Calibration").
+work at which half of ``eff_max`` is reached.  The catalog constants below
+are hand-anchored to the paper's 256-GPU baseline (provenance table in
+``docs/calibration.md``); :mod:`repro.calibration` fits them against the
+published Megatron-LM and MegaScale profiles and can override them per
+run via a :class:`~repro.calibration.CalibratedProfile` without editing
+this file (see docs/api.md, "Calibration & validation").
 """
 
 from __future__ import annotations
@@ -49,12 +53,23 @@ class GpuSpec:
             return 0.0
         return self.gemm_eff_max * kernel_flops / (kernel_flops + self.gemm_flops_half)
 
+    def gemm_compute_time(self, kernel_flops: float) -> float:
+        """Wall time of the compute portion of one dense GEMM kernel.
+
+        Excludes the launch overhead, so degradation models can derate
+        the two terms independently (a slow part executes FLOPs slower;
+        it does not launch kernels slower).
+        """
+        if kernel_flops <= 0:
+            return 0.0
+        eff = self.gemm_efficiency(kernel_flops)
+        return kernel_flops / (self.peak_flops * eff)
+
     def gemm_time(self, kernel_flops: float) -> float:
         """Wall time for one dense GEMM kernel, including launch overhead."""
         if kernel_flops <= 0:
             return 0.0
-        eff = self.gemm_efficiency(kernel_flops)
-        return kernel_flops / (self.peak_flops * eff) + self.kernel_launch_overhead
+        return self.gemm_compute_time(kernel_flops) + self.kernel_launch_overhead
 
     def memory_bound_time(self, bytes_moved: float, n_kernels: int = 1) -> float:
         """Wall time for memory-bandwidth-bound elementwise work."""
@@ -83,10 +98,21 @@ class Gpu:
         return self.spec.peak_flops * self.speed_factor
 
     def compute_time(self, kernel_flops: float) -> float:
-        """GEMM time adjusted for this device's degradation."""
+        """GEMM time adjusted for this device's degradation.
+
+        Only the compute term is derated: a part running at
+        ``speed_factor`` executes FLOPs slower but launches kernels at
+        the normal rate, so the launch overhead is charged undiluted.
+        At ``speed_factor == 1.0`` this equals ``spec.gemm_time`` exactly.
+        """
         if self.speed_factor <= 0:
             raise ValueError(f"GPU {self.index} has non-positive speed factor")
-        return self.spec.gemm_time(kernel_flops) / self.speed_factor
+        if kernel_flops <= 0:
+            return 0.0
+        return (
+            self.spec.gemm_compute_time(kernel_flops) / self.speed_factor
+            + self.spec.kernel_launch_overhead
+        )
 
     def degrade(self, speed_factor: float) -> None:
         if not 0 < speed_factor <= 1:
@@ -126,9 +152,22 @@ GPU_CATALOG: Dict[str, GpuSpec] = {spec.name: spec for spec in (AMPERE, HOPPER)}
 
 
 def scaled_spec(base: GpuSpec, speed_factor: float) -> GpuSpec:
-    """A derated copy of ``base`` (for whole-cluster what-if studies)."""
+    """A derated copy of ``base`` (for whole-cluster what-if studies).
+
+    Pure clock derating scales ``peak_flops`` *and* ``gemm_flops_half``
+    by the same factor: the saturation knee arises from fixed per-kernel
+    overhead time, so in ideal-time units (``kernel_flops / peak_flops``)
+    the efficiency curve must be invariant —
+    ``scaled.gemm_efficiency(s * f) == base.gemm_efficiency(f)``.
+    Scaling only the peak would silently move the knee to a *larger*
+    fraction of the derated peak, biasing what-if studies toward small
+    kernels.
+    """
+    if speed_factor <= 0:
+        raise ValueError("speed_factor must be positive")
     return replace(
         base,
         name=f"{base.name}-x{speed_factor:g}",
         peak_flops=base.peak_flops * speed_factor,
+        gemm_flops_half=base.gemm_flops_half * speed_factor,
     )

@@ -142,11 +142,14 @@ def candidate_bounds(
     global_batch: int,
     index: int = 0,
     backend: str = "analytic",
+    profile=None,
 ) -> CandidateBounds:
     """Analytic brackets + memory footprint of one candidate (no simulate)."""
     from ..training.iteration import IterationEngine  # avoid import cycle
 
-    engine = IterationEngine(model, plan, features, gpu=gpu, backend=backend)
+    engine = IterationEngine(
+        model, plan, features, gpu=gpu, backend=backend, profile=profile
+    )
     bounds = engine.analytic_bounds(global_batch)
     memory = memory_breakdown(
         model,
@@ -175,17 +178,22 @@ def plan_cache_key(
     gpu: GpuSpec,
     global_batch: int,
     backend: str = "analytic",
+    profile=None,
 ) -> str:
     """Stable persistent-cache key for one priced (plan, context) point.
 
     Built from the dataclass reprs — every field that influences the
-    engine's answer is part of the key, including the cost ``backend``.
+    engine's answer is part of the key, including the cost ``backend``
+    and any calibration ``profile`` overrides (appended only when set,
+    so pre-existing cache entries keyed without a profile stay valid).
     The cost-model *code* version is handled separately by the memo's
     fingerprint.
     """
     key = f"tuned-plan:{model!r}|{plan!r}|{features!r}|{gpu!r}|gb={global_batch}"
     if backend != "analytic":
         key += f"|backend={backend}"
+    if profile is not None:
+        key += f"|profile={profile!r}"
     return key
 
 
@@ -280,6 +288,7 @@ def search_plans(
     cache: Optional[PersistentMemo] = None,
     exhaustive: bool = False,
     backend: str = "analytic",
+    profile=None,
 ) -> SearchResult:
     """Exact top-k plan search with bound-and-prune (or brute force).
 
@@ -329,16 +338,24 @@ def search_plans(
         gpu=gpu,
         global_batch=global_batch,
         backend=backend,
+        profile=profile,
     )
     key_fn = (
-        (lambda plan: plan_cache_key(model, plan, features, gpu, global_batch, backend))
+        (
+            lambda plan: plan_cache_key(
+                model, plan, features, gpu, global_batch, backend, profile=profile
+            )
+        )
         if cache is not None
         else None
     )
 
     # Stage 1 — cheap closed-form bounds for every candidate.
     candidates = [
-        candidate_bounds(plan, model, features, gpu, global_batch, index=i, backend=backend)
+        candidate_bounds(
+            plan, model, features, gpu, global_batch, index=i, backend=backend,
+            profile=profile,
+        )
         for i, plan in enumerate(screened)
     ]
 

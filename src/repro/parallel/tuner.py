@@ -124,15 +124,18 @@ def evaluate_plan(
     gpu: GpuSpec,
     global_batch: int,
     backend: str = "analytic",
+    profile=None,
 ) -> TunedPlan:
     """Price one candidate with the iteration engine.
 
     Module-level (not a closure) so the sweep executor can ship it to
-    worker processes.
+    worker processes (``profile``, a frozen dataclass, pickles along).
     """
     from ..training.iteration import IterationEngine  # avoid import cycle
 
-    engine = IterationEngine(model, plan, features, gpu=gpu, backend=backend)
+    engine = IterationEngine(
+        model, plan, features, gpu=gpu, backend=backend, profile=profile
+    )
     outcome = engine.simulate(global_batch)
     return TunedPlan(plan=plan, mfu=outcome.mfu, iteration_time=outcome.iteration_time)
 
@@ -153,6 +156,7 @@ def tune_with_stats(
     cache=None,
     exhaustive: bool = False,
     backend: str = "analytic",
+    profile=None,
 ):
     """Exact top-k plans *plus* the search accounting.
 
@@ -182,6 +186,7 @@ def tune_with_stats(
         cache=cache,
         exhaustive=exhaustive,
         backend=backend,
+        profile=profile,
     )
     if result.stats.capped:
         warnings.warn(
@@ -211,6 +216,7 @@ def tune(
     cache=None,
     exhaustive: bool = False,
     backend: str = "analytic",
+    profile=None,
 ) -> List[TunedPlan]:
     """The exact ``top_k`` feasible plans by MFU (= iteration time).
 
@@ -231,9 +237,12 @@ def tune(
     priced points across runs; ``hub`` collects search telemetry on the
     ``exec`` lane.  ``backend`` selects the collective cost model
     (``"analytic"`` alpha-beta forms or ``"fabric"`` flow-level routing,
-    see :data:`~repro.collectives.primitives.COST_BACKENDS`).  Use
-    :func:`tune_with_stats` to also get the enumerated / pruned /
-    evaluated accounting.
+    see :data:`~repro.collectives.primitives.COST_BACKENDS`).
+    ``profile`` (a :class:`~repro.calibration.CalibratedProfile`) applies
+    fitted calibration constants to every candidate priced — and becomes
+    part of the persistent-cache key, so calibrated and default prices
+    never mix.  Use :func:`tune_with_stats` to also get the enumerated /
+    pruned / evaluated accounting.
     """
     results, _stats = tune_with_stats(
         model,
@@ -251,5 +260,6 @@ def tune(
         cache=cache,
         exhaustive=exhaustive,
         backend=backend,
+        profile=profile,
     )
     return results

@@ -114,17 +114,38 @@ class IterationEngine:
         comm_model: Optional[GroupCommModel] = None,
         peak_flops: Optional[float] = None,
         backend: str = "analytic",
+        profile: Optional[object] = None,
     ) -> None:
         """``backend`` selects the collective cost backend ("analytic" or
         "fabric", see :mod:`repro.collectives.fabric`) for the comm model
-        built here; an explicitly passed ``comm_model`` keeps its own."""
+        built here; an explicitly passed ``comm_model`` keeps its own.
+
+        ``profile`` is an optional
+        :class:`~repro.calibration.CalibratedProfile` (duck-typed to avoid
+        an import cycle): its fitted constants override the ``gpu`` spec
+        and — for a comm model built here — the collective parameters,
+        without editing any catalog source.  ``peak_flops`` still refers
+        to the *datasheet* peak for MFU accounting, so a profile changes
+        predicted times, never the MFU denominator.
+        """
         validate_backend(backend)
         self.base_model = model
         self.plan = plan
         self.features = features
+        self.profile = profile
+        if profile is not None:
+            gpu = profile.apply_gpu(gpu)
         self.gpu = gpu
         self.peak_flops = peak_flops or gpu.peak_flops
-        self.comm = comm_model or build_comm_model(plan, backend=backend)
+        if comm_model is None:
+            comm_kwargs = {"backend": backend}
+            if profile is not None:
+                if getattr(profile, "cc_efficiency", None) is not None:
+                    comm_kwargs["cc_efficiency"] = profile.cc_efficiency
+                if getattr(profile, "inter_node_latency", None) is not None:
+                    comm_kwargs["inter_node_latency"] = profile.inter_node_latency
+            comm_model = build_comm_model(plan, **comm_kwargs)
+        self.comm = comm_model
         self.backend = self.comm.backend
         # Apply the algorithmic options to the executed model.  MFU is
         # still computed against the full-attention reference model.

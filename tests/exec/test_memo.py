@@ -270,3 +270,27 @@ def test_cost_model_fingerprint_is_stable_and_short():
     fp = cost_model_fingerprint()
     assert fp == cost_model_fingerprint()
     assert len(fp) == 16 and all(c in "0123456789abcdef" for c in fp)
+
+
+def test_fingerprint_covers_hardware_modules():
+    from repro.exec.memo import _COST_MODEL_MODULES
+
+    assert "repro.hardware.gpu" in _COST_MODEL_MODULES
+    assert "repro.hardware.nic" in _COST_MODEL_MODULES
+
+
+def test_fingerprint_changes_on_gpu_source_byte_change(tmp_path, monkeypatch):
+    """Editing a calibration constant in gpu.py must version persistent caches.
+
+    Regression: gpu.py/nic.py were missing from _COST_MODEL_MODULES, so a
+    gemm_flops_half edit left cost_model_fingerprint() unchanged and stale
+    prices leaked out of PersistentMemo.
+    """
+    import repro.hardware.gpu as gpu_mod
+
+    baseline = cost_model_fingerprint()
+    original = open(gpu_mod.__file__, "rb").read()
+    mutated = tmp_path / "gpu.py"
+    mutated.write_bytes(original + b"\n# gemm_flops_half tweaked\n")
+    monkeypatch.setattr(gpu_mod, "__file__", str(mutated))
+    assert cost_model_fingerprint() != baseline

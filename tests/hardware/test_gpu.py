@@ -54,8 +54,19 @@ def test_gpu_instance_degradation():
     gpu = Gpu(spec=AMPERE, index=0)
     base = gpu.compute_time(1e12)
     gpu.degrade(0.9)
-    assert gpu.compute_time(1e12) == pytest.approx(base / 0.9)
+    # Only the compute term is derated; launch overhead is charged at
+    # the normal rate (a slow part does not launch kernels slower).
+    expected = AMPERE.gemm_compute_time(1e12) / 0.9 + AMPERE.kernel_launch_overhead
+    assert gpu.compute_time(1e12) == pytest.approx(expected)
+    assert gpu.compute_time(1e12) < base / 0.9  # old formula inflated overhead
     assert gpu.effective_peak == pytest.approx(AMPERE.peak_flops * 0.9)
+
+
+def test_gpu_compute_time_healthy_is_exact_gemm_time():
+    """At speed_factor == 1.0 the degradation path is a no-op, bit for bit."""
+    gpu = Gpu(spec=AMPERE, index=0)
+    for flops in (0.0, 1.0, 1e9, 1e12, 3.7e13):
+        assert gpu.compute_time(flops) == AMPERE.gemm_time(flops)
 
 
 def test_gpu_degrade_validation():
@@ -70,6 +81,32 @@ def test_scaled_spec():
     slow = scaled_spec(AMPERE, 0.5)
     assert slow.peak_flops == pytest.approx(AMPERE.peak_flops * 0.5)
     assert slow.name != AMPERE.name
+
+
+def test_scaled_spec_keeps_efficiency_knee_invariant():
+    """Pure clock derating must not move the efficiency curve's knee.
+
+    In ideal-time units (kernel_flops / peak_flops) the saturating curve
+    is invariant: a kernel taking the same ideal time on the derated part
+    achieves the same efficiency fraction.
+    """
+    for s in (0.25, 0.5, 0.9):
+        slow = scaled_spec(AMPERE, s)
+        # Knee stays at the same fraction of peak.
+        assert slow.gemm_flops_half / slow.peak_flops == pytest.approx(
+            AMPERE.gemm_flops_half / AMPERE.peak_flops
+        )
+        for f in (1e9, 28e9, 1e12):
+            assert slow.gemm_efficiency(s * f) == pytest.approx(
+                AMPERE.gemm_efficiency(f)
+            )
+            # Consequence: compute time scales exactly by 1/s at matched
+            # ideal-time workloads.
+            assert slow.gemm_compute_time(s * f) == pytest.approx(
+                AMPERE.gemm_compute_time(f)
+            )
+    with pytest.raises(ValueError):
+        scaled_spec(AMPERE, 0.0)
 
 
 def test_spec_validation():

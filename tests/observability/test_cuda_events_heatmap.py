@@ -115,3 +115,31 @@ def test_peak_mfu_consistency_improves():
     assert after < before
     with pytest.raises(ValueError):
         consistent_peak_mfu([], [0.6])
+
+
+def test_heatmap_decisions_driven_by_gpu_compute_time():
+    """Straggler flags from real Gpu.compute_time prices, healthy path exact.
+
+    Regression for Gpu.compute_time dividing the *entire* gemm_time (launch
+    overhead included) by speed_factor: healthy ranks (speed_factor=1.0)
+    must price exactly spec.gemm_time, so heatmap decisions match a fleet
+    priced straight from the spec, and only genuinely derated ranks flag.
+    """
+    from repro.hardware import AMPERE, Gpu
+
+    kernel_flops = 5e11
+    slow = {3, 17}
+    timer = CudaEventTimer()
+    for rank in range(32):
+        gpu = Gpu(spec=AMPERE, index=rank)
+        if rank in slow:
+            gpu.degrade(0.9)
+        latency = gpu.compute_time(kernel_flops)
+        if rank not in slow:
+            # speed_factor == 1.0 is a bit-for-bit no-op on the price.
+            assert latency == AMPERE.gemm_time(kernel_flops)
+        for step in range(4):
+            timer.record(rank, step, "forward", latency)
+    result = analyze(timer, "forward")
+    assert set(result.outliers) == slow
+    assert straggler_machines(result, gpus_per_node=8) == [0, 2]
